@@ -1,0 +1,33 @@
+# Convenience targets for the GUESS reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments-quick experiments-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure quickly (small networks).
+experiments-quick:
+	$(GO) run ./cmd/guess-experiments -experiment all -scale quick
+
+# Paper-scale regeneration; writes CSVs under results/full.
+experiments-full:
+	$(GO) run ./cmd/guess-experiments -experiment all -scale full -csv results/full
+
+clean:
+	rm -rf results

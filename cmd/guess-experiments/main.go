@@ -1,0 +1,146 @@
+// Command guess-experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	guess-experiments -list
+//	guess-experiments -experiment fig10
+//	guess-experiments -experiment all -scale full -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "guess-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("guess-experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	experiment := fs.String("experiment", "all", `experiment ID ("table3", "fig3".."fig21", or "all")`)
+	scaleName := fs.String("scale", "quick", `fidelity: "quick" or "full" (paper scale)`)
+	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "max concurrent simulations (0 = all cores)")
+	replications := fs.Int("replications", 1, "independently seeded runs pooled per sweep point")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	svgDir := fs.String("svg", "", "also render each figure chart as SVG into this directory")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-8s %s\n", id, title)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{
+		Seed:         *seed,
+		Parallelism:  *parallel,
+		Replications: *replications,
+	}
+	switch *scaleName {
+	case "quick":
+		opts.Scale = experiments.Quick
+	case "full":
+		opts.Scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown -scale %q (want quick or full)", *scaleName)
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	for _, id := range ids {
+		title, err := experiments.Title(id)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s: %s (scale=%s)\n", id, title, opts.Scale)
+		}
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		if _, err := res.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, id, res); err != nil {
+				return err
+			}
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, id, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSVGs(dir, id string, res *experiments.Result) error {
+	if len(res.Charts) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, c := range res.Charts {
+		name := id
+		if len(res.Charts) > 1 {
+			name = fmt.Sprintf("%s_%d", id, i)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".svg"), []byte(c.SVG(720, 440)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVs(dir, id string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		name := id
+		if len(res.Tables) > 1 {
+			name = fmt.Sprintf("%s_%d", id, i)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

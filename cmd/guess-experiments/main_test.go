@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadScale(t *testing.T) {
+	if err := run([]string{"-experiment", "fig12", "-scale", "enormous"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99", "-quiet"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunOneExperimentWithOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	svgDir := filepath.Join(dir, "svg")
+	// fig8 is comparatively cheap at quick scale and produces a chart.
+	err := run([]string{
+		"-experiment", "fig8", "-scale", "quick", "-quiet",
+		"-csv", csvDir, "-svg", svgDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fig8.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(svgDir, "fig8.svg")); err != nil {
+		t.Fatalf("SVG not written: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+// Command guess-node runs a live GUESS peer speaking the UDP wire
+// protocol: it shares files, maintains its link cache with pings,
+// answers queries from other peers, and can issue queries of its own.
+//
+// Start a small network in three terminals:
+//
+//	guess-node -listen 127.0.0.1:7001 -files "free bird.mp3,stairway.ogg"
+//	guess-node -listen 127.0.0.1:7002 -bootstrap 127.0.0.1:7001
+//	guess-node -listen 127.0.0.1:7003 -bootstrap 127.0.0.1:7001 \
+//	    -query "free bird" -desired 1
+//
+// Without -query the node runs as a daemon until interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	guess "repro"
+	"repro/node"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "guess-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("guess-node", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "UDP address to bind")
+	filesFlag := fs.String("files", "", "comma-separated file names to share")
+	bootstrapFlag := fs.String("bootstrap", "", "comma-separated peer addresses to seed the cache")
+	cacheSize := fs.Int("cache", 100, "link cache capacity")
+	pingInterval := fs.Duration("ping-interval", 30*time.Second, "cache maintenance period")
+	probeTimeout := fs.Duration("probe-timeout", 200*time.Millisecond, "probe reply timeout")
+	capacity := fs.Int("capacity", 0, "max probes/second served (0 = unlimited)")
+	queryProbe := fs.String("query-probe", "Random", "QueryProbe policy")
+	queryFlag := fs.String("query", "", "run one query and exit")
+	desired := fs.Int("desired", 1, "results wanted for -query")
+	wait := fs.Duration("gossip-wait", 2*time.Second, "time to gossip before -query runs")
+	verbose := fs.Bool("v", false, "verbose protocol logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sel, err := guess.ParseSelection(*queryProbe)
+	if err != nil {
+		return err
+	}
+	cfg := node.Config{
+		CacheSize:          *cacheSize,
+		PingInterval:       *pingInterval,
+		ProbeTimeout:       *probeTimeout,
+		MaxProbesPerSecond: *capacity,
+		QueryProbe:         sel,
+	}
+	if *filesFlag != "" {
+		for _, f := range strings.Split(*filesFlag, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				cfg.Files = append(cfg.Files, f)
+			}
+		}
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "node: "+format+"\n", args...)
+		}
+	}
+
+	n, err := node.Listen(*listen, cfg)
+	if err != nil {
+		return err
+	}
+	defer n.Close()
+	fmt.Printf("guess-node listening on %v, sharing %d files\n", n.Addr(), n.NumFiles())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *bootstrapFlag != "" {
+		for _, a := range strings.Split(*bootstrapFlag, ",") {
+			addr, err := netip.ParseAddrPort(strings.TrimSpace(a))
+			if err != nil {
+				return fmt.Errorf("bad -bootstrap address %q: %w", a, err)
+			}
+			ok, err := n.PingPeer(ctx, addr)
+			if err != nil {
+				return err
+			}
+			n.AddPeer(addr, 0)
+			fmt.Printf("bootstrap %v: alive=%v\n", addr, ok)
+		}
+	}
+
+	if *queryFlag != "" {
+		// Give ping/pong gossip a moment to populate the cache.
+		select {
+		case <-time.After(*wait):
+		case <-ctx.Done():
+			return nil
+		}
+		start := time.Now()
+		hits, stats, err := n.Query(ctx, *queryFlag, *desired)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %q: %d hits in %v (%d probes: %d good, %d dead, %d refused)\n",
+			*queryFlag, len(hits), time.Since(start).Round(time.Millisecond),
+			stats.Probes, stats.Good, stats.Dead, stats.Refused)
+		for _, h := range hits {
+			fmt.Printf("  %q from %v\n", h.Name, h.From)
+		}
+		return nil
+	}
+
+	// Daemon mode: report stats periodically until interrupted.
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			s := n.Stats()
+			fmt.Printf("cache %d entries | pings sent %d recv %d | queries served %d | refused %d | evicted %d\n",
+				n.CacheLen(), s.PingsSent, s.PingsReceived, s.QueriesServed,
+				s.ProbesRefused, s.DeadEvictions)
+		}
+	}
+}

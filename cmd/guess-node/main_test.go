@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"repro/node"
+)
+
+func TestRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-query-probe", "Bogus"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run([]string{"-bootstrap", "not-an-addr", "-query", "x"}); err == nil {
+		t.Fatal("bad bootstrap address accepted")
+	}
+	if err := run([]string{"-listen", "256.0.0.1:99999"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestQueryAgainstLivePeer(t *testing.T) {
+	sharer, err := node.Listen("127.0.0.1:0", node.Config{
+		Files: []string{"wanted song.mp3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharer.Close()
+
+	err = run([]string{
+		"-listen", "127.0.0.1:0",
+		"-bootstrap", sharer.Addr().String(),
+		"-query", "wanted song",
+		"-gossip-wait", "100ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

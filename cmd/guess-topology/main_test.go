@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunPowerLaw(t *testing.T) {
+	if err := run([]string{"-nodes", "200", "-floods", "5", "-max-ttl", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRandom(t *testing.T) {
+	if err := run([]string{"-nodes", "200", "-kind", "random", "-floods", "5", "-max-ttl", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadKind(t *testing.T) {
+	if err := run([]string{"-kind", "mesh"}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command overlay-analyze studies the health of a GUESS conceptual
+// overlay under a given maintenance configuration: it runs a
+// queries-off simulation and reports connectivity (largest weak
+// component), cache liveness, and degree statistics over time.
+//
+// Example:
+//
+//	overlay-analyze -network 1000 -cache 20 -ping-interval 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "overlay-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("overlay-analyze", flag.ContinueOnError)
+	network := fs.Int("network", 1000, "number of live peers")
+	cacheSize := fs.Int("cache", 100, "link cache capacity")
+	lifespan := fs.Float64("lifespan", 1, "lifespan multiplier")
+	seed := fs.Uint64("seed", 1, "random seed")
+	warmup := fs.Float64("warmup", 500, "warmup seconds")
+	measure := fs.Float64("measure", 2000, "measurement seconds")
+	intervalsFlag := fs.String("ping-intervals", "15,30,60,120,240,480,600",
+		"comma-separated ping intervals to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var intervals []float64
+	for _, tok := range splitCommas(*intervalsFlag) {
+		var v float64
+		if _, err := fmt.Sscanf(tok, "%g", &v); err != nil {
+			return fmt.Errorf("bad -ping-intervals entry %q", tok)
+		}
+		intervals = append(intervals, v)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Overlay health: N=%d cache=%d lifespan x%g", *network, *cacheSize, *lifespan),
+		"PingInterval", "AvgLargestWCC", "FinalWCC", "AvgLiveEntries", "FractionLive")
+	for _, pi := range intervals {
+		p := core.DefaultParams()
+		p.NetworkSize = *network
+		p.CacheSize = *cacheSize
+		p.LifespanMultiplier = *lifespan
+		p.PingInterval = pi
+		p.QueriesEnabled = false
+		p.SampleConnectivity = true
+		p.Seed = *seed
+		p.WarmupTime = *warmup
+		p.MeasureTime = *measure
+		p.SampleInterval = 60
+		engine, err := core.New(p)
+		if err != nil {
+			return err
+		}
+		res, err := engine.Run()
+		if err != nil {
+			return err
+		}
+		t.AddRow(pi, res.AvgLargestWCC, res.FinalLargestWCC, res.AvgLiveEntries, res.AvgLiveFraction)
+	}
+	_, err := t.WriteTo(os.Stdout)
+	return err
+}
+
+func splitCommas(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

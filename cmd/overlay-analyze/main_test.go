@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	err := run([]string{
+		"-network", "150", "-cache", "10", "-warmup", "50", "-measure", "150",
+		"-ping-intervals", "30,120",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadInterval(t *testing.T) {
+	if err := run([]string{"-ping-intervals", "30,abc"}); err == nil {
+		t.Fatal("bad interval accepted")
+	}
+}
+
+func TestSplitCommas(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"1", 1},
+		{"1,2,3", 3},
+		{",1,,2,", 2},
+	}
+	for _, tt := range tests {
+		if got := splitCommas(tt.in); len(got) != tt.want {
+			t.Errorf("splitCommas(%q) = %v", tt.in, got)
+		}
+	}
+}

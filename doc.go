@@ -1,0 +1,39 @@
+// Package guess is a from-scratch reproduction of "Evaluating GUESS and
+// Non-Forwarding Peer-to-Peer Search" (Yang, Vinograd, Garcia-Molina;
+// ICDCS 2004).
+//
+// GUESS is a non-forwarding search protocol for unstructured
+// peer-to-peer networks: instead of flooding queries through an
+// overlay, each peer keeps a cache of pointers to other peers and
+// probes them directly, one (or a few) at a time, until it has enough
+// results. The paper shows that this gives fine-grained control over
+// query cost — over an order of magnitude cheaper than fixed-extent
+// flooding — but that performance, fairness and robustness depend
+// critically on the policies used to order probes, build pongs, and
+// replace cache entries.
+//
+// This package is the public façade over the full simulation stack:
+//
+//   - Run executes one GUESS simulation from a Config (the paper's
+//     Tables 1 and 2 parameters) and returns Results;
+//   - RunExperiment regenerates any table or figure from the paper's
+//     evaluation section (Table 3, Figures 3-21) — see ExperimentIDs;
+//   - the policy constants (Random, MRU, LRU, MFS, MR, MRStar and the
+//     eviction counterparts) name the five policy families studied.
+//
+// A minimal session:
+//
+//	cfg := guess.DefaultConfig()
+//	cfg.QueryPong = guess.MFS
+//	cfg.CacheReplacement = guess.EvictLFS
+//	res, err := guess.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("%.1f probes/query, %.1f%% unsatisfied\n",
+//		res.ProbesPerQuery(), 100*res.Unsatisfaction())
+//
+// The substrates live in internal packages: the discrete-event engine
+// (internal/core), the content and churn models (internal/content,
+// internal/lifetime), the policy implementations (internal/policy), the
+// forwarding baselines (internal/gnutella), and the per-figure
+// experiment harness (internal/experiments).
+package guess

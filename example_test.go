@@ -1,0 +1,62 @@
+package guess_test
+
+import (
+	"fmt"
+	"log"
+
+	guess "repro"
+)
+
+// ExampleRun shows a minimal simulation: the paper's defaults on a
+// small network, then the headline MFS/LFS tuning.
+func ExampleRun() {
+	cfg := guess.DefaultConfig()
+	cfg.NetworkSize = 200
+	cfg.WarmupTime = 100
+	cfg.MeasureTime = 300
+	res, err := guess.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d queries at %.0f probes each\n",
+		res.Queries, res.ProbesPerQuery())
+}
+
+// ExampleRun_policies compares two policy configurations on identical
+// seeds — the experiment pattern used throughout the reproduction.
+func ExampleRun_policies() {
+	base := guess.DefaultConfig()
+	base.NetworkSize = 200
+	base.WarmupTime = 100
+	base.MeasureTime = 300
+
+	tuned := base
+	tuned.QueryPong = guess.MFS
+	tuned.CacheReplacement = guess.EvictLFS
+
+	baseRes, err := guess.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedRes, err := guess.Run(tuned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tunedRes.ProbesPerQuery() < baseRes.ProbesPerQuery() {
+		fmt.Println("MFS/LFS is cheaper than Random")
+	}
+	// Output: MFS/LFS is cheaper than Random
+}
+
+// ExampleRunExperiment regenerates one of the paper's figures.
+func ExampleRunExperiment() {
+	res, err := guess.RunExperiment("fig12", guess.ExperimentOptions{
+		Scale: guess.ScaleQuick,
+		Seed:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Title)
+	// Output: Figure 12: unsatisfied queries by QueryPong policy
+}

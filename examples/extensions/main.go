@@ -1,0 +1,76 @@
+// Extensions: the paper's future-work proposals, runnable. Three
+// mini-studies: (1) adaptive parallel probes cut response time;
+// (2) selfish 500-probe blasts inflate network load until probe
+// payments restore discipline; (3) blame-the-supplier detection
+// defuses cache poisoning.
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	guess "repro"
+)
+
+func base() guess.Config {
+	cfg := guess.DefaultConfig()
+	cfg.NetworkSize = 400
+	cfg.WarmupTime = 150
+	cfg.MeasureTime = 500
+	cfg.QueryRate *= 3
+	return cfg
+}
+
+func mustRun(cfg guess.Config) *guess.Results {
+	res, err := guess.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("1) Adaptive parallel probes (§6.2 future work)")
+	serial := mustRun(base())
+	adaptive := base()
+	adaptive.AdaptiveParallel = true
+	adaptive.AdaptiveParallelWindow = 4
+	adaptive.MaxParallelProbes = 64
+	fast := mustRun(adaptive)
+	fmt.Printf("   serial:   %.1f probes/query, %.1fs response\n",
+		serial.ProbesPerQuery(), serial.AvgResponseTime())
+	fmt.Printf("   adaptive: %.1f probes/query, %.1fs response\n\n",
+		fast.ProbesPerQuery(), fast.AvgResponseTime())
+
+	fmt.Println("2) Selfish peers and probe payments (§3.3)")
+	greedyCfg := base()
+	greedyCfg.PercentSelfishPeers = 20
+	greedyCfg.SelfishParallelProbes = 500
+	greedy := mustRun(greedyCfg)
+	paidCfg := greedyCfg
+	paidCfg.ProbePayments = true
+	paid := mustRun(paidCfg)
+	honest := mustRun(base())
+	fmt.Printf("   honest network:       %8d probes received in total\n", honest.TotalLoad())
+	fmt.Printf("   20%% selfish, no cost: %8d\n", greedy.TotalLoad())
+	fmt.Printf("   20%% selfish + payments: %6d\n\n", paid.TotalLoad())
+
+	fmt.Println("3) Poisoning detection (§6.4 future work)")
+	attackCfg := base()
+	attackCfg.QueryProbe = guess.MR
+	attackCfg.QueryPong = guess.MR
+	attackCfg.CacheReplacement = guess.EvictionFor(guess.MR)
+	attackCfg.PercentBadPeers = 20
+	attackCfg.BadPong = guess.BadPongDead
+	undefended := mustRun(attackCfg)
+	defendedCfg := attackCfg
+	defendedCfg.PoisonDetection = true
+	defended := mustRun(defendedCfg)
+	fmt.Printf("   undefended: %.1f dead probes/query, %.1f%% unsatisfied\n",
+		undefended.DeadProbesPerQuery(), 100*undefended.UnsatisfactionWithAborted())
+	fmt.Printf("   detection:  %.1f dead probes/query, %.1f%% unsatisfied (%d suppliers blacklisted)\n",
+		defended.DeadProbesPerQuery(), 100*defended.UnsatisfactionWithAborted(),
+		defended.BlacklistEvents)
+}

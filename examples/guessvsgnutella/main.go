@@ -1,0 +1,39 @@
+// GUESS vs Gnutella: the Figure 8 story. Compare the cost/quality
+// trade-off of fixed-extent flooding (Gnutella), coarse iterative
+// deepening, and GUESS's fine-grained flexible extent, all over the
+// same content model.
+//
+//	go run ./examples/guessvsgnutella
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	guess "repro"
+)
+
+func main() {
+	// The experiment harness regenerates Figure 8 directly; this
+	// example uses the public facade and prints the resulting trade-off
+	// table plus an ASCII rendering of the figure.
+	res, err := guess.RunExperiment("fig8", guess.ExperimentOptions{
+		Scale: guess.ScaleQuick,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := res.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(`
+How to read this: every fixed-extent row pays its extent in probes on
+every query, no matter how popular the target is. GUESS probes only
+until satisfied, so its average cost sits far left of the fixed-extent
+curve at comparable unsatisfaction — the paper reports over an order
+of magnitude — and iterative deepening lands in between, paying for
+its coarse round granularity.`)
+}

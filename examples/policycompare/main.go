@@ -1,0 +1,90 @@
+// Policy comparison: sweep the selection policies over the QueryPong
+// slot (the paper's most influential policy type, Figure 10) and show
+// the cost/fairness trade-off each one makes.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	guess "repro"
+)
+
+func main() {
+	policies := []guess.Selection{guess.Random, guess.MRU, guess.LRU, guess.MFS, guess.MR}
+
+	type outcome struct {
+		policy  guess.Selection
+		results *guess.Results
+	}
+	outcomes := make([]outcome, len(policies))
+	var wg sync.WaitGroup
+	errs := make([]error, len(policies))
+	for i, pol := range policies {
+		wg.Add(1)
+		go func(i int, pol guess.Selection) {
+			defer wg.Done()
+			cfg := guess.DefaultConfig()
+			cfg.NetworkSize = 500
+			cfg.WarmupTime = 200
+			cfg.MeasureTime = 800
+			cfg.QueryPong = pol
+			cfg.CacheReplacement = guess.EvictionFor(pol)
+			res, err := guess.Run(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outcomes[i] = outcome{pol, res}
+		}(i, pol)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("QueryPong policy comparison (CacheReplacement paired, rest Random)")
+	fmt.Printf("%-8s %12s %12s %12s %14s\n",
+		"policy", "probes/query", "good", "unsat%", "top-peer load")
+	for _, o := range outcomes {
+		ranked := o.results.RankedLoads()
+		top := int64(0)
+		if len(ranked) > 0 {
+			top = ranked[0]
+		}
+		fmt.Printf("%-8s %12.1f %12.1f %12.1f %14d\n",
+			o.policy, o.results.ProbesPerQuery(), o.results.GoodProbesPerQuery(),
+			100*o.results.Unsatisfaction(), top)
+	}
+
+	// Fairness: how concentrated is the load under each policy?
+	fmt.Println("\nLoad concentration (share of all probes received by the busiest 1% of peers):")
+	for _, o := range outcomes {
+		ranked := o.results.RankedLoads()
+		total := o.results.TotalLoad()
+		if total == 0 || len(ranked) == 0 {
+			continue
+		}
+		onePercent := len(ranked) / 100
+		if onePercent < 1 {
+			onePercent = 1
+		}
+		var topSum int64
+		for _, l := range ranked[:onePercent] {
+			topSum += l
+		}
+		fmt.Printf("  %-8s %5.1f%%\n", o.policy, 100*float64(topSum)/float64(total))
+	}
+
+	sort.Slice(outcomes, func(i, j int) bool {
+		return outcomes[i].results.ProbesPerQuery() < outcomes[j].results.ProbesPerQuery()
+	})
+	fmt.Printf("\nCheapest policy in this run: %s (%.1f probes/query)\n",
+		outcomes[0].policy, outcomes[0].results.ProbesPerQuery())
+}

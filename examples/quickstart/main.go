@@ -1,0 +1,50 @@
+// Quickstart: run one GUESS simulation with the paper's default
+// parameters and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	guess "repro"
+)
+
+func main() {
+	cfg := guess.DefaultConfig()
+	// Keep the example snappy: a mid-sized network and a short
+	// measurement window. Everything else is the paper's defaults
+	// (Random policies, 100-entry cache, 30 s ping interval).
+	cfg.NetworkSize = 500
+	cfg.WarmupTime = 200
+	cfg.MeasureTime = 800
+
+	res, err := guess.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GUESS quickstart — defaults, Random policies")
+	fmt.Printf("  queries completed:   %d\n", res.Queries)
+	fmt.Printf("  probes per query:    %.1f (good %.1f, dead %.1f)\n",
+		res.ProbesPerQuery(), res.GoodProbesPerQuery(), res.DeadProbesPerQuery())
+	fmt.Printf("  unsatisfied queries: %.1f%%\n", 100*res.Unsatisfaction())
+	fmt.Printf("  avg response time:   %.1f s\n", res.AvgResponseTime())
+	fmt.Printf("  cache health:        %.1f/%.1f entries live (%.0f%%)\n",
+		res.AvgLiveEntries, res.AvgCacheEntries, 100*res.AvgLiveFraction)
+
+	// Now the paper's headline optimization: circulate pointers to
+	// file-rich peers (QueryPong=MFS) and keep them in the cache
+	// (CacheReplacement=LFS).
+	cfg.QueryPong = guess.MFS
+	cfg.CacheReplacement = guess.EvictLFS
+	tuned, err := guess.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWith QueryPong=MFS and CacheReplacement=LFS:")
+	fmt.Printf("  probes per query:    %.1f (%.1fx cheaper)\n",
+		tuned.ProbesPerQuery(), res.ProbesPerQuery()/tuned.ProbesPerQuery())
+	fmt.Printf("  unsatisfied queries: %.1f%%\n", 100*tuned.Unsatisfaction())
+}

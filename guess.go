@@ -1,0 +1,130 @@
+package guess
+
+import (
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/policy"
+)
+
+// Config holds all simulation parameters: the paper's system
+// parameters (Table 1), protocol parameters (Table 2), the content
+// model, and run control. Construct with DefaultConfig and override
+// fields; see the field documentation on the underlying type.
+type Config = core.Params
+
+// Results holds a run's measurements: query cost and satisfaction,
+// probe breakdowns, cache health, per-peer load, and overlay
+// connectivity.
+type Results = core.Results
+
+// ContentParams configures the synthetic content and query model.
+type ContentParams = content.Params
+
+// DefaultConfig returns the paper's default configuration.
+func DefaultConfig() Config { return core.DefaultParams() }
+
+// DefaultContentParams returns the calibrated content-model defaults.
+func DefaultContentParams() ContentParams { return content.DefaultParams() }
+
+// Run executes one GUESS simulation.
+func Run(cfg Config) (*Results, error) {
+	engine, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run()
+}
+
+// Selection orders cache entries for probing and pong construction
+// (the QueryProbe, QueryPong, PingProbe and PingPong policy types).
+type Selection = policy.Selection
+
+// Selection policies (Section 4 of the paper).
+const (
+	// Random selects uniformly; the fairness baseline.
+	Random = policy.SelRandom
+	// MRU prefers recently contacted peers (most likely alive).
+	MRU = policy.SelMRU
+	// LRU prefers stale entries (spreads load, risks dead peers).
+	LRU = policy.SelLRU
+	// MFS prefers peers sharing the most files.
+	MFS = policy.SelMFS
+	// MR prefers peers that returned the most results.
+	MR = policy.SelMR
+	// MRStar is MR using only first-hand experience (robust to lies).
+	MRStar = policy.SelMRStar
+)
+
+// Eviction picks link-cache victims (the CacheReplacement policy
+// type). Names follow the paper: the policy evicts what it names.
+type Eviction = policy.Eviction
+
+// Cache replacement policies (Section 4 of the paper).
+const (
+	// EvictRandom evicts a uniformly random entry.
+	EvictRandom = policy.EvRandom
+	// EvictLRU evicts the least recently used entry (keeps recency).
+	EvictLRU = policy.EvLRU
+	// EvictMRU evicts the most recently used entry (keeps stale ones).
+	EvictMRU = policy.EvMRU
+	// EvictLFS evicts the peer sharing the fewest files (the MFS goal).
+	EvictLFS = policy.EvLFS
+	// EvictLR evicts the peer with the fewest results (the MR goal).
+	EvictLR = policy.EvLR
+	// EvictLRStar is EvictLR on first-hand experience only.
+	EvictLRStar = policy.EvLRStar
+)
+
+// EvictionFor returns the cache-replacement policy that retains what
+// sel prefers (MFS -> EvictLFS, MR -> EvictLR, and so on).
+func EvictionFor(sel Selection) Eviction { return policy.EvictionFor(sel) }
+
+// ParseSelection resolves a selection policy name ("Random", "MRU",
+// "LRU", "MFS", "MR", "MR*").
+func ParseSelection(name string) (Selection, error) { return policy.ParseSelection(name) }
+
+// ParseEviction resolves an eviction policy name ("Random", "LRU",
+// "MRU", "LFS", "LR", "LR*").
+func ParseEviction(name string) (Eviction, error) { return policy.ParseEviction(name) }
+
+// BadPongBehavior is what a malicious peer puts in its pongs.
+type BadPongBehavior = core.BadPongBehavior
+
+// Malicious pong behaviors (Section 6.4 of the paper).
+const (
+	// BadPongDead poisons caches with fabricated dead addresses.
+	BadPongDead = core.BadPongDead
+	// BadPongBad poisons caches with colluders' addresses.
+	BadPongBad = core.BadPongBad
+	// BadPongGood returns genuine entries (the peer still returns no
+	// results).
+	BadPongGood = core.BadPongGood
+)
+
+// ExperimentOptions configures experiment regeneration (scale, seed,
+// parallelism, progress output).
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is a regenerated table/figure.
+type ExperimentResult = experiments.Result
+
+// Experiment scales.
+const (
+	// ScaleQuick runs small networks for fast turnaround.
+	ScaleQuick = experiments.Quick
+	// ScaleFull runs the paper's network sizes and durations.
+	ScaleFull = experiments.Full
+)
+
+// ExperimentIDs lists every reproducible paper artifact ("table3",
+// "fig3" ... "fig21") in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle describes an experiment ID.
+func ExperimentTitle(id string) (string, error) { return experiments.Title(id) }
+
+// RunExperiment regenerates one paper table or figure.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, opts)
+}

@@ -1,0 +1,82 @@
+package guess_test
+
+import (
+	"testing"
+
+	guess "repro"
+)
+
+func TestDefaultConfigRuns(t *testing.T) {
+	cfg := guess.DefaultConfig()
+	cfg.NetworkSize = 150
+	cfg.WarmupTime = 50
+	cfg.MeasureTime = 200
+	cfg.QueryRate = 0.05
+	res, err := guess.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := guess.DefaultConfig()
+	cfg.CacheSize = 0
+	if _, err := guess.Run(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPolicyRoundTrips(t *testing.T) {
+	sels := []guess.Selection{guess.Random, guess.MRU, guess.LRU, guess.MFS, guess.MR, guess.MRStar}
+	for _, s := range sels {
+		got, err := guess.ParseSelection(s.String())
+		if err != nil || got != s {
+			t.Fatalf("selection round trip %v failed: %v %v", s, got, err)
+		}
+	}
+	evs := []guess.Eviction{guess.EvictRandom, guess.EvictLRU, guess.EvictMRU,
+		guess.EvictLFS, guess.EvictLR, guess.EvictLRStar}
+	for _, e := range evs {
+		got, err := guess.ParseEviction(e.String())
+		if err != nil || got != e {
+			t.Fatalf("eviction round trip %v failed: %v %v", e, got, err)
+		}
+	}
+}
+
+func TestEvictionFor(t *testing.T) {
+	if guess.EvictionFor(guess.MFS) != guess.EvictLFS {
+		t.Fatal("EvictionFor(MFS) != EvictLFS")
+	}
+	if guess.EvictionFor(guess.Random) != guess.EvictRandom {
+		t.Fatal("EvictionFor(Random) != EvictRandom")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := guess.ExperimentIDs()
+	if len(ids) != 25 {
+		t.Fatalf("expected 25 experiments, got %d: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if _, err := guess.ExperimentTitle(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunExperimentViaFacade(t *testing.T) {
+	res, err := guess.RunExperiment("fig12", guess.ExperimentOptions{
+		Scale: guess.ScaleQuick,
+		Seed:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || res.Tables[0].NumRows() == 0 {
+		t.Fatal("experiment returned no data")
+	}
+}

@@ -1,0 +1,169 @@
+// Package cache implements the two peer-local address stores of the
+// GUESS protocol: the bounded link cache (the peer's "neighbor list")
+// and the unbounded per-query query cache ("scratch space").
+//
+// A cache entry is the paper's pointer format
+// {IP address, TS, NumFiles, NumRes} plus a Direct flag recording
+// whether NumRes comes from the owner's own experience (needed by the
+// MR* policy, which distrusts third-party result counts).
+package cache
+
+import "fmt"
+
+// PeerID is a peer's address. In the simulator it doubles as the
+// unique, monotonically increasing peer identifier; addresses of dead
+// peers are never reused, and fabricated addresses (used by malicious
+// peers to poison caches) come from a disjoint range.
+type PeerID int64
+
+// Entry is a pointer to another peer, the unit stored in both caches.
+type Entry struct {
+	// Addr is the target peer's address.
+	Addr PeerID
+	// TS is the virtual time of the owner's last interaction with the
+	// target (or the inherited timestamp, for entries learned from
+	// pongs; the protocol forbids rewriting fields on insert).
+	TS float64
+	// NumFiles is the number of files the target advertises.
+	NumFiles int32
+	// NumRes is the number of results the target returned for the
+	// owner's (or, if !Direct, some third party's) last query to it.
+	NumRes int32
+	// Direct records whether NumRes reflects the owner's own experience
+	// with the target. Entries learned from pongs carry Direct=false
+	// until the owner probes the target itself.
+	Direct bool
+}
+
+// LinkCache is the bounded neighbor cache. It preserves insertion
+// slots (stable indices are not guaranteed across removals) and
+// rejects duplicate addresses. The zero value is unusable; call
+// NewLinkCache.
+type LinkCache struct {
+	capacity int
+	entries  []Entry
+	index    map[PeerID]int
+}
+
+// NewLinkCache returns an empty link cache with the given capacity
+// (the paper's CacheSize). It panics if capacity <= 0, which is always
+// a configuration bug.
+func NewLinkCache(capacity int) *LinkCache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: non-positive link cache capacity %d", capacity))
+	}
+	return &LinkCache{
+		capacity: capacity,
+		entries:  make([]Entry, 0, min(capacity, 256)),
+		index:    make(map[PeerID]int, min(capacity, 256)),
+	}
+}
+
+// Cap returns the cache's capacity.
+func (c *LinkCache) Cap() int { return c.capacity }
+
+// Len returns the number of entries currently held.
+func (c *LinkCache) Len() int { return len(c.entries) }
+
+// Full reports whether the cache is at capacity.
+func (c *LinkCache) Full() bool { return len(c.entries) >= c.capacity }
+
+// Has reports whether addr is present.
+func (c *LinkCache) Has(addr PeerID) bool {
+	_, ok := c.index[addr]
+	return ok
+}
+
+// Get returns the entry for addr, if present.
+func (c *LinkCache) Get(addr PeerID) (Entry, bool) {
+	i, ok := c.index[addr]
+	if !ok {
+		return Entry{}, false
+	}
+	return c.entries[i], true
+}
+
+// Entries exposes the cache's backing slice for policy scans. Callers
+// must not grow or reorder it; mutating fields in place (e.g. TS
+// updates) is allowed and is how Touch and SetNumRes work.
+func (c *LinkCache) Entries() []Entry { return c.entries }
+
+// Add inserts e if there is room and the address is not already
+// present. It reports whether the entry was inserted. Use ReplaceAt for
+// policy-driven replacement when full.
+func (c *LinkCache) Add(e Entry) bool {
+	if c.Full() || c.Has(e.Addr) {
+		return false
+	}
+	c.index[e.Addr] = len(c.entries)
+	c.entries = append(c.entries, e)
+	return true
+}
+
+// ReplaceAt evicts the entry at index i and installs e in its place.
+// It panics if i is out of range or e.Addr is already present at a
+// different slot — both indicate a broken replacement policy.
+func (c *LinkCache) ReplaceAt(i int, e Entry) {
+	if i < 0 || i >= len(c.entries) {
+		panic(fmt.Sprintf("cache: ReplaceAt(%d) with %d entries", i, len(c.entries)))
+	}
+	old := c.entries[i]
+	if j, ok := c.index[e.Addr]; ok && j != i {
+		panic(fmt.Sprintf("cache: ReplaceAt would duplicate addr %d", e.Addr))
+	}
+	delete(c.index, old.Addr)
+	c.entries[i] = e
+	c.index[e.Addr] = i
+}
+
+// Remove deletes addr, reporting whether it was present. Removal is
+// O(1) via swap-with-last, so entry order is not stable.
+func (c *LinkCache) Remove(addr PeerID) bool {
+	i, ok := c.index[addr]
+	if !ok {
+		return false
+	}
+	last := len(c.entries) - 1
+	moved := c.entries[last]
+	c.entries[i] = moved
+	c.entries = c.entries[:last]
+	delete(c.index, addr)
+	if i != last {
+		c.index[moved.Addr] = i
+	}
+	return true
+}
+
+// Touch sets the TS field of addr's entry to now, if present. Per the
+// protocol, TS is refreshed on every interaction regardless of which
+// party initiated it.
+func (c *LinkCache) Touch(addr PeerID, now float64) {
+	if i, ok := c.index[addr]; ok {
+		c.entries[i].TS = now
+	}
+}
+
+// SetNumRes records the owner's direct experience: the target at addr
+// just returned n results. It also marks the entry Direct.
+func (c *LinkCache) SetNumRes(addr PeerID, n int32) {
+	if i, ok := c.index[addr]; ok {
+		c.entries[i].NumRes = n
+		c.entries[i].Direct = true
+	}
+}
+
+// checkInvariants panics if the index and the entries slice disagree.
+// It is called from tests only.
+func (c *LinkCache) checkInvariants() {
+	if len(c.entries) > c.capacity {
+		panic("cache: over capacity")
+	}
+	if len(c.index) != len(c.entries) {
+		panic("cache: index size mismatch")
+	}
+	for i, e := range c.entries {
+		if j, ok := c.index[e.Addr]; !ok || j != i {
+			panic("cache: index points to wrong slot")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrng"
+)
+
+func TestNewLinkCachePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLinkCache(0) did not panic")
+		}
+	}()
+	NewLinkCache(0)
+}
+
+func TestAddAndGet(t *testing.T) {
+	c := NewLinkCache(3)
+	e := Entry{Addr: 7, TS: 1.5, NumFiles: 10, NumRes: 2, Direct: true}
+	if !c.Add(e) {
+		t.Fatal("Add failed on empty cache")
+	}
+	got, ok := c.Get(7)
+	if !ok || got != e {
+		t.Fatalf("Get(7) = %+v, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Full() {
+		t.Fatalf("Len=%d Full=%v after one add", c.Len(), c.Full())
+	}
+	c.checkInvariants()
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	c := NewLinkCache(3)
+	c.Add(Entry{Addr: 1, NumFiles: 5})
+	if c.Add(Entry{Addr: 1, NumFiles: 99}) {
+		t.Fatal("duplicate address accepted")
+	}
+	got, _ := c.Get(1)
+	if got.NumFiles != 5 {
+		t.Fatal("duplicate add overwrote existing entry")
+	}
+}
+
+func TestAddRejectsWhenFull(t *testing.T) {
+	c := NewLinkCache(2)
+	c.Add(Entry{Addr: 1})
+	c.Add(Entry{Addr: 2})
+	if c.Add(Entry{Addr: 3}) {
+		t.Fatal("Add succeeded on full cache")
+	}
+	if !c.Full() {
+		t.Fatal("cache not reported full")
+	}
+}
+
+func TestReplaceAt(t *testing.T) {
+	c := NewLinkCache(2)
+	c.Add(Entry{Addr: 1})
+	c.Add(Entry{Addr: 2})
+	c.ReplaceAt(0, Entry{Addr: 3, NumFiles: 9})
+	if c.Has(1) {
+		t.Fatal("evicted entry still present")
+	}
+	got, ok := c.Get(3)
+	if !ok || got.NumFiles != 9 {
+		t.Fatalf("replacement missing: %+v %v", got, ok)
+	}
+	c.checkInvariants()
+}
+
+func TestReplaceAtSameAddrSameSlot(t *testing.T) {
+	c := NewLinkCache(2)
+	c.Add(Entry{Addr: 1, NumFiles: 1})
+	c.ReplaceAt(0, Entry{Addr: 1, NumFiles: 42})
+	got, _ := c.Get(1)
+	if got.NumFiles != 42 {
+		t.Fatal("in-place replace failed")
+	}
+	c.checkInvariants()
+}
+
+func TestReplaceAtPanicsOnDuplicate(t *testing.T) {
+	c := NewLinkCache(3)
+	c.Add(Entry{Addr: 1})
+	c.Add(Entry{Addr: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReplaceAt duplicating an addr did not panic")
+		}
+	}()
+	c.ReplaceAt(0, Entry{Addr: 2})
+}
+
+func TestReplaceAtPanicsOutOfRange(t *testing.T) {
+	c := NewLinkCache(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range ReplaceAt did not panic")
+		}
+	}()
+	c.ReplaceAt(0, Entry{Addr: 1})
+}
+
+func TestRemove(t *testing.T) {
+	c := NewLinkCache(4)
+	for i := PeerID(1); i <= 4; i++ {
+		c.Add(Entry{Addr: i})
+	}
+	if !c.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if c.Remove(2) {
+		t.Fatal("second Remove(2) succeeded")
+	}
+	if c.Len() != 3 || c.Has(2) {
+		t.Fatal("entry still present after removal")
+	}
+	for _, id := range []PeerID{1, 3, 4} {
+		if !c.Has(id) {
+			t.Fatalf("entry %d lost by unrelated removal", id)
+		}
+	}
+	c.checkInvariants()
+}
+
+func TestTouchAndSetNumRes(t *testing.T) {
+	c := NewLinkCache(2)
+	c.Add(Entry{Addr: 5, TS: 1})
+	c.Touch(5, 9.5)
+	if e, _ := c.Get(5); e.TS != 9.5 {
+		t.Fatalf("Touch: TS = %v", e.TS)
+	}
+	c.SetNumRes(5, 3)
+	if e, _ := c.Get(5); e.NumRes != 3 || !e.Direct {
+		t.Fatalf("SetNumRes: %+v", e)
+	}
+	// No-ops on absent addresses.
+	c.Touch(99, 1)
+	c.SetNumRes(99, 1)
+	c.checkInvariants()
+}
+
+// TestLinkCacheProperty drives a random operation sequence and checks
+// the cache never exceeds capacity, never duplicates addresses, and
+// keeps its index consistent.
+func TestLinkCacheProperty(t *testing.T) {
+	f := func(ops []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c := NewLinkCache(capacity)
+		r := simrng.New(42)
+		for _, op := range ops {
+			addr := PeerID(op % 23)
+			switch op % 4 {
+			case 0, 1:
+				c.Add(Entry{Addr: addr, TS: float64(op)})
+			case 2:
+				c.Remove(addr)
+			case 3:
+				if c.Len() > 0 {
+					i := r.Intn(c.Len())
+					// Replace only when it would not duplicate.
+					if j, ok := c.index[addr]; !ok || j == i {
+						c.ReplaceAt(i, Entry{Addr: addr})
+					}
+				}
+			}
+			c.checkInvariants()
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryCacheDedup(t *testing.T) {
+	q := NewQueryCache()
+	if !q.Add(Entry{Addr: 1}) {
+		t.Fatal("first Add failed")
+	}
+	if q.Add(Entry{Addr: 1}) {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if !q.Seen(1) || q.Seen(2) {
+		t.Fatal("Seen wrong")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestQueryCacheConsume(t *testing.T) {
+	q := NewQueryCache()
+	q.Add(Entry{Addr: 1})
+	q.Add(Entry{Addr: 2})
+	q.Add(Entry{Addr: 3})
+	q.Consume(2)
+	if got := q.PendingCount(); got != 2 {
+		t.Fatalf("PendingCount = %d, want 2", got)
+	}
+	pending := q.Pending()
+	for _, e := range pending {
+		if e.Addr == 2 {
+			t.Fatal("consumed entry still pending")
+		}
+	}
+	// Consumed addresses remain seen, so they can never be re-added.
+	if q.Add(Entry{Addr: 2}) {
+		t.Fatal("consumed address re-added")
+	}
+	// Consuming an unknown address is a no-op.
+	q.Consume(99)
+	if q.PendingCount() != 2 {
+		t.Fatal("Consume(unknown) changed state")
+	}
+}

@@ -1,0 +1,76 @@
+package cache
+
+// QueryCache is the per-query scratch space of the GUESS protocol: a
+// theoretically unbounded set of candidate addresses accumulated from
+// pong messages while a query runs. It tracks which candidates have
+// been consumed (probed) or discovered dead, and is discarded when the
+// query completes — entries in it are never maintained.
+//
+// The zero value is not usable; call NewQueryCache.
+type QueryCache struct {
+	entries []Entry
+	state   map[PeerID]candState
+}
+
+type candState uint8
+
+const (
+	candPending candState = iota
+	candConsumed
+)
+
+// NewQueryCache returns an empty query cache.
+func NewQueryCache() *QueryCache {
+	return &QueryCache{state: make(map[PeerID]candState, 64)}
+}
+
+// Add records a candidate if its address has not been seen during this
+// query (pending, consumed, or otherwise). It reports whether the
+// candidate was added.
+func (q *QueryCache) Add(e Entry) bool {
+	if _, seen := q.state[e.Addr]; seen {
+		return false
+	}
+	q.state[e.Addr] = candPending
+	q.entries = append(q.entries, e)
+	return true
+}
+
+// Seen reports whether addr has ever been added.
+func (q *QueryCache) Seen(addr PeerID) bool {
+	_, ok := q.state[addr]
+	return ok
+}
+
+// Consume marks addr as probed so it is not returned again.
+func (q *QueryCache) Consume(addr PeerID) {
+	if _, ok := q.state[addr]; ok {
+		q.state[addr] = candConsumed
+	}
+}
+
+// Pending returns the entries not yet consumed. The returned slice is
+// freshly allocated.
+func (q *QueryCache) Pending() []Entry {
+	out := make([]Entry, 0, len(q.entries))
+	for _, e := range q.entries {
+		if q.state[e.Addr] == candPending {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PendingCount returns the number of unconsumed candidates.
+func (q *QueryCache) PendingCount() int {
+	n := 0
+	for _, e := range q.entries {
+		if q.state[e.Addr] == candPending {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the total number of candidates ever added.
+func (q *QueryCache) Len() int { return len(q.entries) }

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/content"
+	"repro/internal/eventq"
+	"repro/internal/lifetime"
+	"repro/internal/overlay"
+	"repro/internal/policy"
+	"repro/internal/simrng"
+	"repro/internal/workload"
+)
+
+// fakeAddrBase is the start of the address range used for fabricated
+// (never-live) addresses returned by malicious peers. Real peer IDs
+// grow upward from 1 and can never reach it.
+const fakeAddrBase cache.PeerID = 1 << 40
+
+// event kinds dispatched by the simulation loop.
+type evKind uint8
+
+const (
+	evDeath     evKind = iota + 1 // a peer's lifetime expires
+	evPing                        // a peer's periodic cache-maintenance ping
+	evBurst                       // a peer's next query burst arrives
+	evProbeStep                   // a running query sends its next probe round
+	evSample                      // periodic metrics sampling
+)
+
+// event is the tagged union stored in the event queue.
+type event struct {
+	kind evKind
+	peer cache.PeerID // evDeath, evPing, evBurst
+	q    *query       // evProbeStep
+}
+
+// Engine runs one GUESS simulation. Create with New, run with Run.
+// An Engine is single-use and not safe for concurrent use; run many
+// engines in parallel for sweeps.
+type Engine struct {
+	p        Params
+	universe *content.Universe
+	life     *lifetime.Model
+	gen      *workload.Generator
+
+	// Independent random streams so that, e.g., changing the policy's
+	// consumption of randomness does not perturb churn.
+	rngSeeding  *simrng.RNG // time-zero cache seeding, malicious assignment
+	rngChurn    *simrng.RNG // lifetimes, friend choice
+	rngContent  *simrng.RNG // libraries, query items
+	rngWorkload *simrng.RNG // burst timing and sizes
+	rngPolicy   *simrng.RNG // random policy picks, eviction
+	rngIntro    *simrng.RNG // introduction coin flips
+
+	now    float64
+	end    float64
+	events eventq.Queue[event]
+
+	peers    map[cache.PeerID]*peer
+	alive    []*peer
+	bad      []*peer // live malicious peers (for colluding pongs)
+	nextID   cache.PeerID
+	nextFake cache.PeerID
+
+	lieFiles int32 // NumFiles malicious peers advertise
+	lieRes   int32 // NumRes malicious peers put in fabricated entries
+
+	res   Results
+	loads []int64
+
+	inFlightCounted int
+
+	// running sums for cache-health samples
+	sumHeld, sumLive, sumLiveFrac, sumGood float64
+	sumWCC                                 float64
+
+	// trace state
+	traceHeader bool
+	traceErr    error
+
+	ran bool
+}
+
+// New validates params and builds an engine ready to Run.
+func New(params Params) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	universe, err := content.New(params.Content)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	life, err := lifetime.New(params.LifespanMultiplier)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var gen *workload.Generator
+	if params.QueriesEnabled {
+		gen, err = workload.New(params.QueryRate)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	root := simrng.New(params.Seed)
+	e := &Engine{
+		p:           params,
+		universe:    universe,
+		life:        life,
+		gen:         gen,
+		rngSeeding:  root.Stream("seeding"),
+		rngChurn:    root.Stream("churn"),
+		rngContent:  root.Stream("content"),
+		rngWorkload: root.Stream("workload"),
+		rngPolicy:   root.Stream("policy"),
+		rngIntro:    root.Stream("intro"),
+		peers:       make(map[cache.PeerID]*peer, params.NetworkSize*2),
+		alive:       make([]*peer, 0, params.NetworkSize),
+		nextID:      1,
+		nextFake:    fakeAddrBase,
+		lieFiles:    int32(universe.MaxLibrary()),
+		lieRes:      1000,
+	}
+	return e, nil
+}
+
+// Run executes the simulation and returns its measurements. It can be
+// called once.
+func (e *Engine) Run() (*Results, error) {
+	if e.ran {
+		return nil, fmt.Errorf("core: engine already ran")
+	}
+	e.ran = true
+	e.end = e.p.WarmupTime + e.p.MeasureTime
+
+	e.bootstrap()
+	e.events.Push(e.p.WarmupTime, event{kind: evSample})
+
+	for {
+		t, ev, ok := e.events.Pop()
+		if !ok || t > e.end {
+			break
+		}
+		e.now = t
+		switch ev.kind {
+		case evDeath:
+			e.handleDeath(ev.peer)
+		case evPing:
+			e.handlePing(ev.peer)
+		case evBurst:
+			e.handleBurst(ev.peer)
+		case evProbeStep:
+			e.handleProbeStep(ev.q)
+		case evSample:
+			e.handleSample()
+		default:
+			return nil, fmt.Errorf("core: unknown event kind %d", ev.kind)
+		}
+	}
+	e.finalize()
+	if e.traceErr != nil {
+		return nil, fmt.Errorf("core: trace writer: %w", e.traceErr)
+	}
+	return &e.res, nil
+}
+
+// bootstrap creates the initial population at time zero.
+func (e *Engine) bootstrap() {
+	n := e.p.NetworkSize
+	numBad := e.p.numBadPeers()
+	numSelfish := e.p.numSelfishPeers()
+	// Uniformly choose disjoint malicious and selfish subsets.
+	badSlot := make([]bool, n)
+	selfishSlot := make([]bool, n)
+	perm := e.rngSeeding.Perm(n)
+	for i := 0; i < numBad; i++ {
+		badSlot[perm[i]] = true
+	}
+	for i := numBad; i < numBad+numSelfish; i++ {
+		selfishSlot[perm[i]] = true
+	}
+	for i := 0; i < n; i++ {
+		e.spawnPeer(badSlot[i], selfishSlot[i])
+	}
+	// Seed link caches with live peers, as in the paper's time-zero
+	// setup (entries carry the target's true file count).
+	seed := e.p.seedSize()
+	for _, p := range e.alive {
+		for _, j := range e.samplePeers(e.rngSeeding, seed, p.id) {
+			target := e.alive[j]
+			p.link.Add(cache.Entry{
+				Addr:     target.id,
+				TS:       0,
+				NumFiles: target.advertisedFiles,
+			})
+		}
+	}
+}
+
+// samplePeers draws up to k distinct indices into e.alive, excluding
+// the peer with the given id, via Floyd's sampling.
+func (e *Engine) samplePeers(r *simrng.RNG, k int, exclude cache.PeerID) []int {
+	n := len(e.alive)
+	if k > n {
+		k = n
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for i := n - k; i < n; i++ {
+		j := r.Intn(i + 1)
+		if chosen[j] {
+			j = i
+		}
+		chosen[j] = true
+		if e.alive[j].id == exclude {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// spawnPeer creates a peer at the current time, registers it, and
+// schedules its lifecycle events. Cache seeding is the caller's job.
+func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
+	id := e.nextID
+	e.nextID++
+	libSize := e.universe.SampleLibrarySize(e.rngContent)
+	lib := e.universe.NewLibrary(e.rngContent, libSize)
+	advertised := int32(lib.Size())
+	if malicious {
+		advertised = e.lieFiles
+	}
+	p := &peer{
+		id:              id,
+		born:            e.now,
+		deathAt:         e.now + e.life.Sample(e.rngChurn),
+		lib:             lib,
+		advertisedFiles: advertised,
+		malicious:       malicious,
+		selfish:         selfish,
+		link:            cache.NewLinkCache(e.p.CacheSize),
+		aliveIdx:        len(e.alive),
+		winStart:        -1,
+		pingInterval:    e.p.PingInterval,
+	}
+	e.peers[id] = p
+	e.alive = append(e.alive, p)
+	if malicious {
+		e.bad = append(e.bad, p)
+	}
+	e.res.Births++
+
+	e.events.Push(p.deathAt, event{kind: evDeath, peer: id})
+	e.events.Push(e.now+e.rngChurn.Float64()*p.pingInterval, event{kind: evPing, peer: id})
+	if e.p.QueriesEnabled && !malicious {
+		delay, _ := e.gen.NextBurst(e.rngWorkload)
+		e.events.Push(e.now+delay, event{kind: evBurst, peer: id})
+	}
+	return p
+}
+
+// handleDeath removes a peer and spawns its replacement, keeping the
+// live population (and the malicious fraction) constant.
+func (e *Engine) handleDeath(id cache.PeerID) {
+	p, ok := e.peers[id]
+	if !ok {
+		return
+	}
+	delete(e.peers, id)
+	// Swap-remove from the alive slice.
+	last := len(e.alive) - 1
+	moved := e.alive[last]
+	e.alive[p.aliveIdx] = moved
+	moved.aliveIdx = p.aliveIdx
+	e.alive = e.alive[:last]
+	if p.malicious {
+		for i, b := range e.bad {
+			if b == p {
+				e.bad[i] = e.bad[len(e.bad)-1]
+				e.bad = e.bad[:len(e.bad)-1]
+				break
+			}
+		}
+	}
+	e.res.Deaths++
+	if e.now >= e.p.WarmupTime {
+		e.loads = append(e.loads, p.probesReceived)
+	}
+
+	// Birth of the replacement, seeded by the random-friend policy:
+	// the newborn copies the link cache of one live "friend" and also
+	// remembers the friend itself.
+	np := e.spawnPeer(p.malicious, p.selfish)
+	if len(e.alive) > 1 {
+		friend := np
+		for friend == np {
+			friend = e.alive[e.rngChurn.Intn(len(e.alive))]
+		}
+		for _, entry := range friend.link.Entries() {
+			if entry.Addr == np.id {
+				continue
+			}
+			np.link.Add(entry)
+		}
+		np.link.Add(cache.Entry{
+			Addr:     friend.id,
+			TS:       e.now,
+			NumFiles: friend.advertisedFiles,
+			Direct:   true,
+		})
+	}
+}
+
+// handlePing performs one cache-maintenance ping for the peer and
+// reschedules the next one.
+func (e *Engine) handlePing(id cache.PeerID) {
+	p, ok := e.peers[id]
+	if !ok {
+		return // peer died; its replacement has its own ping timer
+	}
+	e.events.Push(e.now+p.pingInterval, event{kind: evPing, peer: id})
+
+	entries := p.link.Entries()
+	i := policy.Pick(e.rngPolicy, e.p.PingProbe, entries)
+	if i < 0 {
+		return
+	}
+	addr := entries[i].Addr
+	target, live := e.peers[addr]
+	measuring := e.now >= e.p.WarmupTime
+	if !live {
+		p.link.Remove(addr)
+		e.blameDeadAddress(p, addr)
+		e.recordPingOutcome(p, true)
+		if measuring {
+			e.res.Pings++
+			e.res.DeadPings++
+		}
+		return
+	}
+	if measuring {
+		e.res.Pings++
+	}
+	e.recordPingOutcome(p, false)
+	// Both sides record the interaction.
+	p.link.Touch(addr, e.now)
+	target.link.Touch(id, e.now)
+	e.maybeIntroduce(target, p)
+	e.acceptPong(p, addr, e.buildPong(target, e.p.PingPong))
+}
+
+// handleBurst starts a burst of queries for the peer and schedules its
+// next burst.
+func (e *Engine) handleBurst(id cache.PeerID) {
+	p, ok := e.peers[id]
+	if !ok {
+		return
+	}
+	delay, size := e.gen.NextBurst(e.rngWorkload)
+	e.events.Push(e.now+delay, event{kind: evBurst, peer: id})
+	e.startQuery(p, size-1)
+}
+
+// handleSample takes a cache-health (and optionally connectivity)
+// sample and reschedules itself.
+func (e *Engine) handleSample() {
+	if e.now+e.p.SampleInterval <= e.end {
+		e.events.Push(e.now+e.p.SampleInterval, event{kind: evSample})
+	}
+	var (
+		held, live float64
+		fracSum    float64
+		fracPeers  int
+		goodSum    float64
+		goodPeers  int
+	)
+	for _, p := range e.alive {
+		entries := p.link.Entries()
+		pl := 0
+		pg := 0
+		for _, entry := range entries {
+			t, ok := e.peers[entry.Addr]
+			if !ok {
+				continue
+			}
+			pl++
+			if !t.malicious {
+				pg++
+			}
+		}
+		held += float64(len(entries))
+		live += float64(pl)
+		if len(entries) > 0 {
+			fracSum += float64(pl) / float64(len(entries))
+			fracPeers++
+		}
+		if !p.malicious {
+			goodSum += float64(pg)
+			goodPeers++
+		}
+	}
+	n := float64(len(e.alive))
+	if n > 0 {
+		e.sumHeld += held / n
+		e.sumLive += live / n
+	}
+	if fracPeers > 0 {
+		e.sumLiveFrac += fracSum / float64(fracPeers)
+	}
+	if goodPeers > 0 {
+		e.sumGood += goodSum / float64(goodPeers)
+	}
+	e.res.CacheSamples++
+
+	if e.p.SampleConnectivity {
+		e.sumWCC += float64(e.largestWCC())
+		e.res.ConnectivityRuns++
+	}
+
+	if e.p.Trace != nil && e.traceErr == nil {
+		if !e.traceHeader {
+			e.traceHeader = true
+			_, e.traceErr = fmt.Fprintln(e.p.Trace,
+				"time,births,deaths,queries,satisfied,probes,avgHeld,avgLive")
+		}
+		if e.traceErr == nil {
+			var avgHeld, avgLive float64
+			if n > 0 {
+				avgHeld = held / n
+				avgLive = live / n
+			}
+			_, e.traceErr = fmt.Fprintf(e.p.Trace, "%.0f,%d,%d,%d,%d,%d,%.2f,%.2f\n",
+				e.now, e.res.Births, e.res.Deaths, e.res.Queries,
+				e.res.Satisfied, e.res.ProbesTotal, avgHeld, avgLive)
+		}
+	}
+}
+
+// largestWCC snapshots the conceptual overlay and returns its largest
+// weakly connected component.
+func (e *Engine) largestWCC() int {
+	b := overlay.NewBuilder(len(e.alive))
+	for _, p := range e.alive {
+		// Alive peers have unique IDs; AddNode cannot fail here.
+		_ = b.AddNode(p.id)
+	}
+	for _, p := range e.alive {
+		for _, entry := range p.link.Entries() {
+			_ = b.AddEdge(p.id, entry.Addr)
+		}
+	}
+	g, _ := b.Graph()
+	return g.LargestWCC()
+}
+
+// maybeIntroduce applies the introduction protocol: host adds the
+// initiator of an interaction to its cache with probability IntroProb.
+func (e *Engine) maybeIntroduce(host, initiator *peer) {
+	if !e.rngIntro.Bool(e.p.IntroProb) {
+		return
+	}
+	policy.Insert(e.rngPolicy, e.p.CacheReplacement, host.link, cache.Entry{
+		Addr:     initiator.id,
+		TS:       e.now,
+		NumFiles: initiator.advertisedFiles,
+		Direct:   true,
+	})
+}
+
+// buildPong constructs the host's pong under the given selection
+// policy. Malicious hosts return corrupt pongs per BadPongBehavior.
+func (e *Engine) buildPong(host *peer, sel policy.Selection) []cache.Entry {
+	if e.p.PongSize <= 0 {
+		return nil
+	}
+	if host.malicious {
+		return e.buildBadPong(host)
+	}
+	entries := host.link.Entries()
+	idx := policy.PickN(e.rngPolicy, sel, entries, e.p.PongSize)
+	out := make([]cache.Entry, len(idx))
+	for i, j := range idx {
+		out[i] = entries[j]
+	}
+	return out
+}
+
+// buildBadPong fabricates a poisoned pong.
+func (e *Engine) buildBadPong(host *peer) []cache.Entry {
+	out := make([]cache.Entry, 0, e.p.PongSize)
+	switch e.p.BadPong {
+	case BadPongBad:
+		// Colluders advertise each other with maximal credentials.
+		candidates := make([]*peer, 0, len(e.bad))
+		for _, b := range e.bad {
+			if b != host {
+				candidates = append(candidates, b)
+			}
+		}
+		if len(candidates) == 0 {
+			return e.fabricateDead(out)
+		}
+		for i := 0; i < e.p.PongSize; i++ {
+			b := candidates[e.rngPolicy.Intn(len(candidates))]
+			out = append(out, cache.Entry{
+				Addr:     b.id,
+				TS:       e.now,
+				NumFiles: e.lieFiles,
+				NumRes:   e.lieRes,
+			})
+		}
+		return out
+	case BadPongGood:
+		entries := host.link.Entries()
+		idx := policy.PickN(e.rngPolicy, policy.SelRandom, entries, e.p.PongSize)
+		for _, j := range idx {
+			out = append(out, entries[j])
+		}
+		return out
+	default: // BadPongDead
+		return e.fabricateDead(out)
+	}
+}
+
+// fabricateDead fills a pong with fresh never-live addresses
+// advertising a maximal file count (the bait that defeats MFS). Their
+// NumRes is zero: a result count is per-querier experience, and a
+// plausible fabricated stranger has none — which is why the paper
+// finds MR robust against this attack (the fakes never outrank
+// productive peers) while MFS collapses. Colluding attacks
+// (BadPongBad) do lie about NumRes; see buildBadPong.
+func (e *Engine) fabricateDead(out []cache.Entry) []cache.Entry {
+	for i := 0; i < e.p.PongSize; i++ {
+		out = append(out, cache.Entry{
+			Addr:     e.nextFake,
+			TS:       e.now,
+			NumFiles: e.lieFiles,
+		})
+		e.nextFake++
+	}
+	return out
+}
+
+// acceptPong runs the receiver's cache-replacement policy over pong
+// entries supplied by source. Per the specification, inherited fields
+// are not rewritten; the Direct flag is cleared because the NumRes
+// value is third-party experience, and ResetNumResults optionally
+// zeroes it. Pongs from blacklisted suppliers are ignored entirely.
+func (e *Engine) acceptPong(receiver *peer, source cache.PeerID, pong []cache.Entry) {
+	if receiver.pongSourceBlocked(source) {
+		return
+	}
+	for _, entry := range pong {
+		if entry.Addr == receiver.id {
+			continue
+		}
+		entry.Direct = false
+		if e.p.ResetNumResults {
+			entry.NumRes = 0
+		}
+		e.recordSupplied(receiver, source, entry.Addr)
+		policy.Insert(e.rngPolicy, e.p.CacheReplacement, receiver.link, entry)
+	}
+}
+
+// finalize closes out per-peer load accounting and normalizes sampled
+// averages.
+func (e *Engine) finalize() {
+	for _, p := range e.alive {
+		e.loads = append(e.loads, p.probesReceived)
+	}
+	e.res.PeerLoads = e.loads
+	e.res.Aborted += e.inFlightCounted
+
+	if s := float64(e.res.CacheSamples); s > 0 {
+		e.res.AvgCacheEntries = e.sumHeld / s
+		e.res.AvgLiveEntries = e.sumLive / s
+		e.res.AvgLiveFraction = e.sumLiveFrac / s
+		e.res.AvgGoodEntries = e.sumGood / s
+	}
+	if e.res.ConnectivityRuns > 0 {
+		e.res.AvgLargestWCC = e.sumWCC / float64(e.res.ConnectivityRuns)
+		e.res.FinalLargestWCC = e.largestWCC()
+	}
+}

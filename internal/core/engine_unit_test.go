@@ -1,0 +1,240 @@
+package core
+
+// White-box tests of engine internals that do not need a full
+// simulation run: pong construction, introduction, sampling, and the
+// malicious pong fabrication paths.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// newBootstrapped builds an engine with the initial population in
+// place but no events processed.
+func newBootstrapped(t *testing.T, mutate func(*Params)) *Engine {
+	t.Helper()
+	p := quickParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.bootstrap()
+	return e
+}
+
+func TestBootstrapSeedsCaches(t *testing.T) {
+	e := newBootstrapped(t, nil)
+	if len(e.alive) != e.p.NetworkSize {
+		t.Fatalf("alive = %d", len(e.alive))
+	}
+	want := e.p.seedSize()
+	for _, p := range e.alive {
+		if p.link.Len() == 0 || p.link.Len() > want {
+			t.Fatalf("peer %d seeded with %d entries, want 1..%d", p.id, p.link.Len(), want)
+		}
+		if p.link.Has(p.id) {
+			t.Fatalf("peer %d has itself in its cache", p.id)
+		}
+		for _, entry := range p.link.Entries() {
+			target, ok := e.peers[entry.Addr]
+			if !ok {
+				t.Fatalf("seeded entry points at nonexistent peer %d", entry.Addr)
+			}
+			if entry.NumFiles != target.advertisedFiles {
+				t.Fatalf("seed entry NumFiles %d != advertised %d", entry.NumFiles, target.advertisedFiles)
+			}
+		}
+	}
+}
+
+func TestSamplePeersDistinctAndExcluding(t *testing.T) {
+	e := newBootstrapped(t, nil)
+	exclude := e.alive[0].id
+	for trial := 0; trial < 50; trial++ {
+		idx := e.samplePeers(e.rngSeeding, 10, exclude)
+		seen := make(map[int]bool)
+		for _, i := range idx {
+			if seen[i] {
+				t.Fatal("duplicate index sampled")
+			}
+			seen[i] = true
+			if e.alive[i].id == exclude {
+				t.Fatal("excluded peer sampled")
+			}
+		}
+	}
+}
+
+func TestBuildPongHonest(t *testing.T) {
+	e := newBootstrapped(t, nil)
+	host := e.alive[0]
+	pong := e.buildPong(host, policy.SelRandom)
+	if len(pong) == 0 || len(pong) > e.p.PongSize {
+		t.Fatalf("pong size %d", len(pong))
+	}
+	for _, entry := range pong {
+		if !host.link.Has(entry.Addr) {
+			t.Fatal("pong entry not from host's cache")
+		}
+	}
+}
+
+func TestBuildPongMFSPicksTop(t *testing.T) {
+	e := newBootstrapped(t, nil)
+	host := e.alive[0]
+	pong := e.buildPong(host, policy.SelMFS)
+	// The pong must contain the cache's maximum-NumFiles entry.
+	var maxFiles int32
+	for _, entry := range host.link.Entries() {
+		if entry.NumFiles > maxFiles {
+			maxFiles = entry.NumFiles
+		}
+	}
+	found := false
+	for _, entry := range pong {
+		if entry.NumFiles == maxFiles {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("MFS pong lacks the richest entry (%d files)", maxFiles)
+	}
+}
+
+func TestBuildBadPongDead(t *testing.T) {
+	e := newBootstrapped(t, func(p *Params) {
+		p.PercentBadPeers = 10
+		p.BadPong = BadPongDead
+	})
+	if len(e.bad) == 0 {
+		t.Fatal("no malicious peers")
+	}
+	host := e.bad[0]
+	pong := e.buildPong(host, policy.SelRandom)
+	if len(pong) != e.p.PongSize {
+		t.Fatalf("bad pong size %d", len(pong))
+	}
+	for _, entry := range pong {
+		if entry.Addr < fakeAddrBase {
+			t.Fatalf("dead pong entry %d is a real address", entry.Addr)
+		}
+		if _, alive := e.peers[entry.Addr]; alive {
+			t.Fatal("fabricated address is alive")
+		}
+		if entry.NumFiles != e.lieFiles {
+			t.Fatalf("fabricated entry not attractive under MFS: %+v", entry)
+		}
+		if entry.NumRes != 0 {
+			t.Fatalf("fabricated stranger carries a NumRes lie: %+v", entry)
+		}
+	}
+}
+
+func TestBuildBadPongColluding(t *testing.T) {
+	e := newBootstrapped(t, func(p *Params) {
+		p.PercentBadPeers = 10
+		p.BadPong = BadPongBad
+	})
+	host := e.bad[0]
+	pong := e.buildPong(host, policy.SelRandom)
+	if len(pong) != e.p.PongSize {
+		t.Fatalf("colluding pong size %d", len(pong))
+	}
+	for _, entry := range pong {
+		target, alive := e.peers[entry.Addr]
+		if !alive || !target.malicious {
+			t.Fatalf("colluding pong entry %d not a live malicious peer", entry.Addr)
+		}
+		if entry.Addr == host.id {
+			t.Fatal("colluder advertised itself")
+		}
+	}
+}
+
+func TestBuildBadPongColludingAloneFallsBackToDead(t *testing.T) {
+	e := newBootstrapped(t, func(p *Params) {
+		p.NetworkSize = 300 // ensure exactly one bad peer is possible
+		p.PercentBadPeers = 0.4
+		p.BadPong = BadPongBad
+	})
+	if len(e.bad) != 1 {
+		t.Fatalf("want exactly 1 bad peer, got %d", len(e.bad))
+	}
+	pong := e.buildPong(e.bad[0], policy.SelRandom)
+	for _, entry := range pong {
+		if entry.Addr < fakeAddrBase {
+			t.Fatal("lone colluder should fabricate dead addresses")
+		}
+	}
+}
+
+func TestMaybeIntroduceAlwaysAndNever(t *testing.T) {
+	e := newBootstrapped(t, func(p *Params) { p.IntroProb = 1 })
+	host, guest := e.alive[0], e.alive[1]
+	host.link = cache.NewLinkCache(e.p.CacheSize) // empty it
+	e.maybeIntroduce(host, guest)
+	if !host.link.Has(guest.id) {
+		t.Fatal("IntroProb=1 did not introduce")
+	}
+
+	e2 := newBootstrapped(t, func(p *Params) { p.IntroProb = 0 })
+	host2, guest2 := e2.alive[0], e2.alive[1]
+	host2.link = cache.NewLinkCache(e2.p.CacheSize)
+	e2.maybeIntroduce(host2, guest2)
+	if host2.link.Len() != 0 {
+		t.Fatal("IntroProb=0 introduced")
+	}
+}
+
+func TestAcceptPongRules(t *testing.T) {
+	e := newBootstrapped(t, func(p *Params) { p.ResetNumResults = true })
+	receiver := e.alive[0]
+	receiver.link = cache.NewLinkCache(e.p.CacheSize)
+	source := e.alive[1].id
+	pong := []cache.Entry{
+		{Addr: receiver.id, NumFiles: 9},               // self: skipped
+		{Addr: e.alive[2].id, NumRes: 7, Direct: true}, // NumRes zeroed, Direct cleared
+	}
+	e.acceptPong(receiver, source, pong)
+	if receiver.link.Has(receiver.id) {
+		t.Fatal("accepted own address")
+	}
+	got, ok := receiver.link.Get(e.alive[2].id)
+	if !ok {
+		t.Fatal("entry not accepted")
+	}
+	if got.NumRes != 0 || got.Direct {
+		t.Fatalf("ResetNumResults/Direct rules violated: %+v", got)
+	}
+}
+
+func TestLargestWCCOnFreshNetwork(t *testing.T) {
+	e := newBootstrapped(t, nil)
+	wcc := e.largestWCC()
+	// Seeded random caches of ~4 entries connect essentially everyone.
+	if wcc < e.p.NetworkSize*9/10 {
+		t.Fatalf("fresh overlay fragmented: WCC=%d of %d", wcc, e.p.NetworkSize)
+	}
+}
+
+func TestQueryAddCandidateDedups(t *testing.T) {
+	q := &query{
+		sel:  policy.NewSelector(policy.SelMFS, nil),
+		seen: make(map[cache.PeerID]struct{}),
+	}
+	e := cache.Entry{Addr: 5, NumFiles: 3}
+	if !q.addCandidate(e) {
+		t.Fatal("first add rejected")
+	}
+	if q.addCandidate(e) {
+		t.Fatal("duplicate accepted")
+	}
+	if q.sel.Len() != 1 {
+		t.Fatalf("selector len %d", q.sel.Len())
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import "repro/internal/cache"
+
+// This file implements the paper's future-work proposals as opt-in
+// extensions: adaptive probe parallelism (Section 6.2), adaptive ping
+// intervals (Section 6.1), selfish peers and probe payments
+// (Section 3.3), and pong-poisoning detection (Section 6.4). Every
+// extension is inert unless enabled in Params, so the baseline
+// protocol is bit-identical to the paper's.
+
+// queryParallelism returns the per-round probe fan-out a querying peer
+// uses. A selfish peer ignores the protocol's serial discipline unless
+// probe payments make every probe cost something.
+func (e *Engine) queryParallelism(origin *peer) int {
+	if origin.selfish && !e.p.ProbePayments {
+		return e.p.SelfishParallelProbes
+	}
+	return e.p.ParallelProbes
+}
+
+// maybeGrowParallelism doubles a query's fan-out when it has gone
+// AdaptiveParallelWindow seconds without a new result.
+func (e *Engine) maybeGrowParallelism(q *query) {
+	if !e.p.AdaptiveParallel {
+		return
+	}
+	if e.now-q.lastProgress < e.p.AdaptiveParallelWindow {
+		return
+	}
+	q.k *= 2
+	if q.k > e.p.MaxParallelProbes {
+		q.k = e.p.MaxParallelProbes
+	}
+	q.lastProgress = e.now
+}
+
+// recordPingOutcome feeds the adaptive-ping controller: after every
+// few pings, a peer whose probes mostly hit dead addresses halves its
+// interval, and one that saw no dead addresses at all relaxes it. The
+// short window matters: peers live for minutes, so the controller must
+// converge within a handful of pings to help at all.
+func (e *Engine) recordPingOutcome(p *peer, dead bool) {
+	if !e.p.AdaptivePing {
+		return
+	}
+	p.pingsInWindow++
+	if dead {
+		p.deadInWindow++
+	}
+	const window = 5
+	if p.pingsInWindow < window {
+		return
+	}
+	deadFrac := float64(p.deadInWindow) / float64(p.pingsInWindow)
+	p.pingsInWindow, p.deadInWindow = 0, 0
+	switch {
+	case deadFrac > 1-e.p.AdaptivePingLowLive:
+		p.pingInterval /= 2
+		if p.pingInterval < e.p.AdaptivePingMin {
+			p.pingInterval = e.p.AdaptivePingMin
+		}
+	case deadFrac < 1-e.p.AdaptivePingHighLive:
+		p.pingInterval *= 1.25
+		if p.pingInterval > e.p.AdaptivePingMax {
+			p.pingInterval = e.p.AdaptivePingMax
+		}
+	}
+}
+
+// pongSourceBlocked reports whether receiver has blacklisted source's
+// pongs.
+func (p *peer) pongSourceBlocked(source cache.PeerID) bool {
+	return p.blacklist != nil && p.blacklist[source]
+}
+
+// recordSupplied notes that source handed receiver a pointer to addr.
+func (e *Engine) recordSupplied(receiver *peer, source, addr cache.PeerID) {
+	if !e.p.PoisonDetection {
+		return
+	}
+	if receiver.provenance == nil {
+		receiver.provenance = make(map[cache.PeerID]cache.PeerID, 64)
+		receiver.pongStats = make(map[cache.PeerID]*supplierRecord, 16)
+		receiver.blacklist = make(map[cache.PeerID]bool, 4)
+	}
+	receiver.provenance[addr] = source
+	rec := receiver.pongStats[source]
+	if rec == nil {
+		rec = &supplierRecord{}
+		receiver.pongStats[source] = rec
+	}
+	rec.given++
+}
+
+// blameDeadAddress charges the supplier of a dead address and convicts
+// persistently poisonous suppliers: they are blacklisted, evicted, and
+// their future pongs ignored.
+func (e *Engine) blameDeadAddress(victim *peer, deadAddr cache.PeerID) {
+	if !e.p.PoisonDetection || victim.provenance == nil {
+		return
+	}
+	source, ok := victim.provenance[deadAddr]
+	if !ok {
+		return
+	}
+	delete(victim.provenance, deadAddr)
+	rec := victim.pongStats[source]
+	if rec == nil {
+		return
+	}
+	rec.dead++
+	if victim.blacklist[source] {
+		return
+	}
+	if rec.given >= e.p.PoisonMinSamples &&
+		float64(rec.dead)/float64(rec.given) >= e.p.PoisonThreshold {
+		victim.blacklist[source] = true
+		victim.link.Remove(source)
+		e.res.BlacklistEvents++
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+// MergeResults combines measurements from replicate runs of the same
+// configuration under different seeds. Counters add; sampled
+// cache-health and connectivity averages are weighted by their sample
+// counts; per-peer loads concatenate (each replicate's population is a
+// disjoint sample of the same process). Per-query derived metrics
+// (ProbesPerQuery, Unsatisfaction, ...) then reflect the pooled runs.
+//
+// It returns nil for an empty input; a single result is returned
+// as-is.
+func MergeResults(rs []*Results) *Results {
+	if len(rs) == 0 {
+		return nil
+	}
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := &Results{}
+	var healthWeight, connWeight float64
+	for _, r := range rs {
+		out.Queries += r.Queries
+		out.Satisfied += r.Satisfied
+		out.Unsatisfied += r.Unsatisfied
+		out.Aborted += r.Aborted
+		out.ProbesTotal += r.ProbesTotal
+		out.GoodProbes += r.GoodProbes
+		out.DeadProbes += r.DeadProbes
+		out.RefusedProbes += r.RefusedProbes
+		out.ResponseTimeSum += r.ResponseTimeSum
+		out.Pings += r.Pings
+		out.DeadPings += r.DeadPings
+		out.Births += r.Births
+		out.Deaths += r.Deaths
+		out.BlacklistEvents += r.BlacklistEvents
+		out.PeerLoads = append(out.PeerLoads, r.PeerLoads...)
+
+		if r.CacheSamples > 0 {
+			w := float64(r.CacheSamples)
+			out.AvgCacheEntries += w * r.AvgCacheEntries
+			out.AvgLiveEntries += w * r.AvgLiveEntries
+			out.AvgLiveFraction += w * r.AvgLiveFraction
+			out.AvgGoodEntries += w * r.AvgGoodEntries
+			out.CacheSamples += r.CacheSamples
+			healthWeight += w
+		}
+		if r.ConnectivityRuns > 0 {
+			w := float64(r.ConnectivityRuns)
+			out.AvgLargestWCC += w * r.AvgLargestWCC
+			out.ConnectivityRuns += r.ConnectivityRuns
+			connWeight += w
+			if r.FinalLargestWCC > out.FinalLargestWCC {
+				out.FinalLargestWCC = r.FinalLargestWCC
+			}
+		}
+	}
+	if healthWeight > 0 {
+		out.AvgCacheEntries /= healthWeight
+		out.AvgLiveEntries /= healthWeight
+		out.AvgLiveFraction /= healthWeight
+		out.AvgGoodEntries /= healthWeight
+	}
+	if connWeight > 0 {
+		out.AvgLargestWCC /= connWeight
+	}
+	return out
+}

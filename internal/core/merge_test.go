@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMergeResultsEmptyAndSingle(t *testing.T) {
+	if MergeResults(nil) != nil {
+		t.Fatal("empty merge not nil")
+	}
+	r := &Results{Queries: 3}
+	if MergeResults([]*Results{r}) != r {
+		t.Fatal("single merge should return the input")
+	}
+}
+
+func TestMergeResultsCounters(t *testing.T) {
+	a := &Results{
+		Queries: 10, Satisfied: 8, Unsatisfied: 2, Aborted: 1,
+		ProbesTotal: 100, GoodProbes: 80, DeadProbes: 15, RefusedProbes: 5,
+		ResponseTimeSum: 50, Pings: 7, DeadPings: 2, Births: 11, Deaths: 1,
+		BlacklistEvents: 3, PeerLoads: []int64{1, 2},
+		AvgCacheEntries: 10, AvgLiveEntries: 8, AvgLiveFraction: 0.8,
+		AvgGoodEntries: 7, CacheSamples: 10,
+	}
+	b := &Results{
+		Queries: 30, Satisfied: 24, Unsatisfied: 6,
+		ProbesTotal: 300, GoodProbes: 200, DeadProbes: 80, RefusedProbes: 20,
+		ResponseTimeSum: 70, PeerLoads: []int64{3},
+		AvgCacheEntries: 20, AvgLiveEntries: 12, AvgLiveFraction: 0.6,
+		AvgGoodEntries: 11, CacheSamples: 30,
+	}
+	m := MergeResults([]*Results{a, b})
+	if m.Queries != 40 || m.Satisfied != 32 || m.Unsatisfied != 8 || m.Aborted != 1 {
+		t.Fatalf("query counters wrong: %+v", m)
+	}
+	if m.ProbesTotal != 400 || m.GoodProbes != 280 {
+		t.Fatalf("probe counters wrong: %+v", m)
+	}
+	if got, want := m.ProbesPerQuery(), 10.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pooled probes/query = %v, want %v", got, want)
+	}
+	if len(m.PeerLoads) != 3 {
+		t.Fatalf("loads not concatenated: %v", m.PeerLoads)
+	}
+	// Health weighted by samples: (10*10 + 30*20)/40 = 17.5.
+	if math.Abs(m.AvgCacheEntries-17.5) > 1e-12 {
+		t.Fatalf("weighted cache entries = %v", m.AvgCacheEntries)
+	}
+	if math.Abs(m.AvgLiveFraction-0.65) > 1e-12 {
+		t.Fatalf("weighted live fraction = %v", m.AvgLiveFraction)
+	}
+	if m.CacheSamples != 40 {
+		t.Fatalf("samples = %d", m.CacheSamples)
+	}
+}
+
+func TestMergeResultsConnectivity(t *testing.T) {
+	a := &Results{AvgLargestWCC: 100, ConnectivityRuns: 1, FinalLargestWCC: 90}
+	b := &Results{AvgLargestWCC: 200, ConnectivityRuns: 3, FinalLargestWCC: 150}
+	m := MergeResults([]*Results{a, b})
+	if math.Abs(m.AvgLargestWCC-175) > 1e-12 {
+		t.Fatalf("weighted WCC = %v", m.AvgLargestWCC)
+	}
+	if m.FinalLargestWCC != 150 {
+		t.Fatalf("final WCC = %d", m.FinalLargestWCC)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.QueryPong = policy.SelMFS
+	p.CacheReplacement = policy.EvLFS
+	p.PercentBadPeers = 10
+	p.BadPong = BadPongBad
+	p.Trace = &strings.Builder{} // must be skipped by JSON
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Trace") {
+		t.Fatal("Trace leaked into JSON")
+	}
+	for _, want := range []string{`"QueryPong":"MFS"`, `"CacheReplacement":"LFS"`, `"BadPong":"Bad"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, data)
+		}
+	}
+
+	var got Params
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	got.Trace = p.Trace // excluded by design
+	p2 := p
+	if got != p2 {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p2)
+	}
+}
+
+func TestParamsJSONRejectsBadNames(t *testing.T) {
+	var p Params
+	if err := json.Unmarshal([]byte(`{"QueryProbe":"NotAPolicy"}`), &p); err == nil {
+		t.Fatal("bad policy name accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"BadPong":"Evil"}`), &p); err == nil {
+		t.Fatal("bad behavior name accepted")
+	}
+}
+
+func TestBadPongBehaviorTextZero(t *testing.T) {
+	var b BadPongBehavior
+	text, err := b.MarshalText()
+	if err != nil || string(text) != "" {
+		t.Fatalf("zero marshals to %q, %v", text, err)
+	}
+	if err := b.UnmarshalText(nil); err != nil || b != 0 {
+		t.Fatal("empty text should leave behavior unset")
+	}
+	if _, err := BadPongBehavior(42).MarshalText(); err == nil {
+		t.Fatal("invalid behavior marshaled")
+	}
+}
+
+func TestParseBadPongBehavior(t *testing.T) {
+	for name, want := range map[string]BadPongBehavior{
+		"Dead": BadPongDead, "Bad": BadPongBad, "Good": BadPongGood,
+	} {
+		got, err := ParseBadPongBehavior(name)
+		if err != nil || got != want {
+			t.Errorf("ParseBadPongBehavior(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseBadPongBehavior("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

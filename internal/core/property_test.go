@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+)
+
+// TestEngineInvariantsUnderRandomConfigs drives small simulations with
+// randomized configurations and checks the engine's global invariants:
+// probe accounting sums, satisfaction partitioning, population
+// constancy, and cache-health sanity.
+func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
+	selections := []policy.Selection{
+		policy.SelRandom, policy.SelMRU, policy.SelLRU, policy.SelMFS, policy.SelMR, policy.SelMRStar,
+	}
+	evictions := []policy.Eviction{
+		policy.EvRandom, policy.EvLRU, policy.EvMRU, policy.EvLFS, policy.EvLR, policy.EvLRStar,
+	}
+	f := func(seed uint16, qp, qpong, repl, cacheRaw, badRaw uint8, collude, backoff bool) bool {
+		p := DefaultParams()
+		p.Seed = uint64(seed) + 1
+		p.NetworkSize = 80
+		p.WarmupTime = 50
+		p.MeasureTime = 200
+		p.QueryRate = 0.03
+		p.LifespanMultiplier = 0.3
+		p.CacheSize = 4 + int(cacheRaw%40)
+		p.QueryProbe = selections[int(qp)%len(selections)]
+		p.QueryPong = selections[int(qpong)%len(selections)]
+		p.CacheReplacement = evictions[int(repl)%len(evictions)]
+		p.PercentBadPeers = float64(badRaw % 25)
+		if collude {
+			p.BadPong = BadPongBad
+		} else {
+			p.BadPong = BadPongDead
+		}
+		p.DoBackoff = backoff
+		p.MaxProbesPerSecond = 30
+
+		e, err := New(p)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		switch {
+		case res.ProbesTotal != res.GoodProbes+res.DeadProbes+res.RefusedProbes:
+			t.Logf("probe accounting: %d != %d+%d+%d",
+				res.ProbesTotal, res.GoodProbes, res.DeadProbes, res.RefusedProbes)
+			return false
+		case res.Satisfied+res.Unsatisfied != res.Queries:
+			t.Logf("satisfaction partition broken")
+			return false
+		case len(e.alive) != p.NetworkSize:
+			t.Logf("population drifted to %d", len(e.alive))
+			return false
+		case res.Births != res.Deaths+p.NetworkSize:
+			t.Logf("birth/death ledger broken: %d births, %d deaths", res.Births, res.Deaths)
+			return false
+		case res.AvgLiveFraction < 0 || res.AvgLiveFraction > 1:
+			t.Logf("live fraction %v", res.AvgLiveFraction)
+			return false
+		case res.AvgLiveEntries > res.AvgCacheEntries+1e-9:
+			t.Logf("live entries exceed held")
+			return false
+		case res.Aborted < 0:
+			return false
+		}
+		// Every peer's link cache respects capacity and never contains
+		// the peer itself.
+		for _, pr := range e.alive {
+			if pr.link.Len() > p.CacheSize || pr.link.Has(pr.id) {
+				t.Logf("cache invariant broken at peer %d", pr.id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/content"
+	"repro/internal/policy"
+)
+
+// query is the state of one in-flight search.
+type query struct {
+	origin  cache.PeerID
+	item    content.ItemID
+	started float64
+	// counted records whether the query started inside the measurement
+	// window and should contribute to metrics.
+	counted bool
+	// burstRemaining queries follow this one back-to-back when it
+	// completes (the bursty workload's "succession").
+	burstRemaining int
+
+	results int
+	probes  int
+	good    int
+	dead    int
+	refused int
+
+	// k is the current per-round fan-out; lastProgress is when the
+	// query last gained a result (both drive AdaptiveParallel).
+	k            int
+	lastProgress float64
+
+	sel *policy.Selector
+	// seen is the query cache's dedup set: every address ever added as
+	// a candidate. (The full cache.QueryCache bookkeeping is not needed
+	// here — the selector holds the pending entries — and exhaustive
+	// queries make per-candidate memory the simulator's footprint
+	// ceiling.)
+	seen map[cache.PeerID]struct{}
+}
+
+// addCandidate records addr as seen and, if new, feeds the entry to
+// the selector. It reports whether the entry was new.
+func (q *query) addCandidate(e cache.Entry) bool {
+	if _, ok := q.seen[e.Addr]; ok {
+		return false
+	}
+	q.seen[e.Addr] = struct{}{}
+	q.sel.Add(e)
+	return true
+}
+
+// startQuery begins a new query at p: the target item is drawn from the
+// query model, the link cache is snapshotted into the candidate set,
+// and the first probe round fires immediately.
+func (e *Engine) startQuery(p *peer, burstRemaining int) {
+	q := &query{
+		origin:         p.id,
+		item:           e.universe.DrawQuery(e.rngContent),
+		started:        e.now,
+		counted:        e.now >= e.p.WarmupTime,
+		burstRemaining: burstRemaining,
+		k:              e.queryParallelism(p),
+		lastProgress:   e.now,
+		sel:            policy.NewSelector(e.p.QueryProbe, e.rngPolicy),
+		seen:           make(map[cache.PeerID]struct{}, p.link.Len()+1),
+	}
+	// Never probe yourself.
+	q.seen[p.id] = struct{}{}
+
+	for _, entry := range p.link.Entries() {
+		q.addCandidate(entry)
+	}
+	if q.counted {
+		e.inFlightCounted++
+	}
+	e.handleProbeStep(q)
+}
+
+// handleProbeStep sends the next round of (up to ParallelProbes)
+// probes for q and either completes the query or schedules the next
+// round.
+func (e *Engine) handleProbeStep(q *query) {
+	origin, ok := e.peers[q.origin]
+	if !ok {
+		// The querying peer died; the query is abandoned.
+		if q.counted {
+			e.res.Aborted++
+			e.inFlightCounted--
+		}
+		return
+	}
+
+	// All probes of a round are in flight before any replies arrive, so
+	// a round is sent in full even if an early probe already satisfies
+	// the query (the paper's "at most k-1 wasted probes").
+	e.maybeGrowParallelism(q)
+	for i := 0; i < q.k; i++ {
+		entry, ok := e.nextCandidate(origin, q)
+		if !ok {
+			break
+		}
+		e.probeOne(origin, q, entry)
+		if e.p.MaxProbesPerQuery > 0 && q.probes >= e.p.MaxProbesPerQuery {
+			break
+		}
+	}
+
+	switch {
+	case q.results >= e.p.NumDesiredResults:
+		e.completeQuery(origin, q, true)
+	case q.sel.Len() == 0:
+		e.completeQuery(origin, q, false)
+	case e.p.MaxProbesPerQuery > 0 && q.probes >= e.p.MaxProbesPerQuery:
+		e.completeQuery(origin, q, false)
+	default:
+		e.events.Push(e.now+e.p.ProbeSpacing, event{kind: evProbeStep, q: q})
+	}
+}
+
+// nextCandidate pulls the best unprobed candidate, skipping targets the
+// origin is currently backing off from.
+func (e *Engine) nextCandidate(origin *peer, q *query) (cache.Entry, bool) {
+	for {
+		entry, ok := q.sel.Next()
+		if !ok {
+			return cache.Entry{}, false
+		}
+		if origin.suppressedNow(entry.Addr, e.now) {
+			continue
+		}
+		return entry, true
+	}
+}
+
+// probeOne delivers a single query probe from origin to the peer named
+// by entry and processes the outcome (results, pong, introduction,
+// cache bookkeeping).
+func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
+	addr := entry.Addr
+	q.probes++
+
+	target, live := e.peers[addr]
+	if !live {
+		// Timeout: the peer is presumed dead and evicted.
+		q.dead++
+		origin.link.Remove(addr)
+		e.blameDeadAddress(origin, addr)
+		return
+	}
+
+	if e.now >= e.p.WarmupTime {
+		target.probesReceived++
+	}
+	if target.addLoad(e.now, e.p.MaxProbesPerSecond) {
+		// Refused: the overloaded peer drops the probe. Without
+		// back-off the prober treats it like a dead peer (the
+		// protocol's inherent throttling); with back-off the entry is
+		// kept but suppressed for a while.
+		q.refused++
+		if e.p.DoBackoff {
+			origin.suppress(addr, e.now+e.p.BackoffPeriod)
+		} else {
+			origin.link.Remove(addr)
+		}
+		return
+	}
+
+	q.good++
+	e.maybeIntroduce(target, origin)
+
+	res := 0
+	if !target.malicious {
+		res = target.lib.Results(q.item)
+	}
+	q.results += res
+	if res > 0 {
+		q.lastProgress = e.now
+	}
+
+	// Both sides record the interaction; the prober also refreshes its
+	// direct NumRes experience with the target.
+	origin.link.Touch(addr, e.now)
+	origin.link.SetNumRes(addr, int32(res))
+	target.link.Touch(origin.id, e.now)
+
+	// The pong rides along with the query response: new candidates for
+	// this query's cache and fodder for the link cache. Blacklisted
+	// suppliers' pongs are dropped (poison detection).
+	if origin.pongSourceBlocked(addr) {
+		return
+	}
+	pong := e.buildPong(target, e.p.QueryPong)
+	for _, pe := range pong {
+		if pe.Addr == origin.id {
+			continue
+		}
+		pe.Direct = false
+		if e.p.ResetNumResults {
+			pe.NumRes = 0
+		}
+		e.recordSupplied(origin, addr, pe.Addr)
+		q.addCandidate(pe)
+		policy.Insert(e.rngPolicy, e.p.CacheReplacement, origin.link, pe)
+	}
+}
+
+// completeQuery records metrics and chains the next query of the burst.
+func (e *Engine) completeQuery(origin *peer, q *query, satisfied bool) {
+	if q.counted {
+		e.inFlightCounted--
+		e.res.Queries++
+		if satisfied {
+			e.res.Satisfied++
+		} else {
+			e.res.Unsatisfied++
+		}
+		e.res.ProbesTotal += int64(q.probes)
+		e.res.GoodProbes += int64(q.good)
+		e.res.DeadProbes += int64(q.dead)
+		e.res.RefusedProbes += int64(q.refused)
+		e.res.ResponseTimeSum += e.now - q.started
+	}
+	if q.burstRemaining > 0 {
+		e.startQuery(origin, q.burstRemaining-1)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResultsPerQueryMath(t *testing.T) {
+	r := Results{
+		Queries:         10,
+		Satisfied:       8,
+		Unsatisfied:     2,
+		Aborted:         5,
+		ProbesTotal:     100,
+		GoodProbes:      70,
+		DeadProbes:      20,
+		RefusedProbes:   10,
+		ResponseTimeSum: 25,
+	}
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"probes", r.ProbesPerQuery(), 10},
+		{"good", r.GoodProbesPerQuery(), 7},
+		{"dead", r.DeadProbesPerQuery(), 2},
+		{"refused", r.RefusedProbesPerQuery(), 1},
+		{"unsat", r.Unsatisfaction(), 0.2},
+		{"unsat with aborted", r.UnsatisfactionWithAborted(), 7.0 / 15},
+		{"response", r.AvgResponseTime(), 2.5},
+	}
+	for _, tt := range tests {
+		if math.Abs(tt.got-tt.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestResultsUnsatisfactionWithAbortedEmpty(t *testing.T) {
+	var r Results
+	if r.UnsatisfactionWithAborted() != 0 {
+		t.Fatal("empty results not zero")
+	}
+	r.Aborted = 3
+	if got := r.UnsatisfactionWithAborted(); got != 1 {
+		t.Fatalf("all-aborted = %v, want 1", got)
+	}
+}
+
+func TestRankedLoadsAndTotal(t *testing.T) {
+	r := Results{PeerLoads: []int64{5, 1, 9, 0, 3}}
+	ranked := r.RankedLoads()
+	want := []int64{9, 5, 3, 1, 0}
+	for i := range want {
+		if ranked[i] != want[i] {
+			t.Fatalf("RankedLoads = %v", ranked)
+		}
+	}
+	// The original slice must be untouched.
+	if r.PeerLoads[0] != 5 {
+		t.Fatal("RankedLoads mutated PeerLoads")
+	}
+	if r.TotalLoad() != 18 {
+		t.Fatalf("TotalLoad = %d", r.TotalLoad())
+	}
+}
+
+func TestParamsSeedSize(t *testing.T) {
+	p := DefaultParams()
+	tests := []struct {
+		network, cacheSize, seedSize, want int
+	}{
+		{1000, 100, 0, 10},  // default: network/100
+		{50, 100, 0, 1},     // floor of 1
+		{1000, 5, 0, 5},     // capped by cache size
+		{1000, 100, 42, 42}, // explicit
+		{10, 100, 42, 9},    // capped by network-1
+	}
+	for _, tt := range tests {
+		p.NetworkSize = tt.network
+		p.CacheSize = tt.cacheSize
+		p.CacheSeedSize = tt.seedSize
+		if got := p.seedSize(); got != tt.want {
+			t.Errorf("seedSize(net=%d cache=%d seed=%d) = %d, want %d",
+				tt.network, tt.cacheSize, tt.seedSize, got, tt.want)
+		}
+	}
+}
+
+func TestParamsBadAndSelfishCounts(t *testing.T) {
+	p := DefaultParams()
+	p.NetworkSize = 1000
+	p.PercentBadPeers = 15
+	p.PercentSelfishPeers = 10
+	if got := p.numBadPeers(); got != 150 {
+		t.Fatalf("numBadPeers = %d", got)
+	}
+	if got := p.numSelfishPeers(); got != 100 {
+		t.Fatalf("numSelfishPeers = %d", got)
+	}
+}

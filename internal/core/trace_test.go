@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTraceWritesTimeSeries(t *testing.T) {
+	var b strings.Builder
+	p := quickParams()
+	p.Trace = &b
+	run(t, p)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time,births,deaths,queries") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	// Rows have 8 comma-separated fields and non-decreasing time.
+	prevTime := ""
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 8 {
+			t.Fatalf("row %q has %d fields", line, len(fields))
+		}
+		if prevTime != "" && len(fields[0]) < len(prevTime) {
+			t.Fatalf("time went backwards: %q after %q", fields[0], prevTime)
+		}
+		prevTime = fields[0]
+	}
+}
+
+type failingWriter struct{ err error }
+
+func (w failingWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestTraceWriterErrorSurfaces(t *testing.T) {
+	wantErr := errors.New("disk full")
+	p := quickParams()
+	p.Trace = failingWriter{err: wantErr}
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v, want wrapped %v", err, wantErr)
+	}
+}

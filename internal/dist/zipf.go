@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simrng"
+)
+
+// Zipf draws ranks from a bounded Zipf (zeta) distribution over
+// {0, 1, ..., N-1}: P(rank k) proportional to 1/(k+1)^S.
+//
+// It precomputes the cumulative mass function, so Rank is an O(log N)
+// binary search. This is the popularity law behind the content model:
+// item popularity in file-sharing networks is well approximated by a
+// Zipf distribution.
+type Zipf struct {
+	s   float64
+	cum []float64
+}
+
+// NewZipf builds a bounded Zipf distribution over n ranks with exponent
+// s >= 0. s == 0 degenerates to the uniform distribution.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: Zipf needs n > 0, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("dist: Zipf exponent must be >= 0, got %v", s)
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += math.Pow(float64(k+1), -s)
+		cum[k] = acc
+	}
+	inv := 1 / acc
+	for k := range cum {
+		cum[k] *= inv
+	}
+	cum[n-1] = 1
+	return &Zipf{s: s, cum: cum}, nil
+}
+
+// MustZipf is NewZipf but panics on invalid arguments.
+func MustZipf(n int, s float64) *Zipf {
+	z, err := NewZipf(n, s)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Rank draws a rank in [0, N).
+func (z *Zipf) Rank(r *simrng.RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// Prob returns the probability mass of rank k.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cum) {
+		return 0
+	}
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}
+
+// CDF returns the cumulative probability of ranks <= k.
+func (z *Zipf) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(z.cum) {
+		return 1
+	}
+	return z.cum[k]
+}
+
+// Sample implements Sampler by returning the drawn rank as a float64.
+func (z *Zipf) Sample(r *simrng.RNG) float64 { return float64(z.Rank(r)) }
+
+// Mean returns the expected rank.
+func (z *Zipf) Mean() float64 {
+	mean := 0.0
+	for k := range z.cum {
+		mean += float64(k) * z.Prob(k)
+	}
+	return mean
+}
+
+var _ Sampler = (*Zipf)(nil)

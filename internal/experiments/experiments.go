@@ -1,0 +1,346 @@
+// Package experiments maps every table and figure of the paper's
+// evaluation (Table 3, Figures 3-21) to a runnable experiment that
+// regenerates it. Each experiment returns report tables whose rows are
+// the series the paper plots; EXPERIMENTS.md records paper-vs-measured
+// outcomes.
+//
+// Experiments run at two scales: Quick (small networks and short
+// measurement windows, for benchmarks and CI) and Full (the paper's
+// parameters). Sweep points run in parallel, one engine per
+// goroutine.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Scale selects experiment fidelity.
+type Scale int
+
+const (
+	// Quick runs small networks for seconds-level turnaround.
+	Quick Scale = iota
+	// Full runs the paper's network sizes and durations.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects Quick or Full fidelity.
+	Scale Scale
+	// Seed drives all randomness. Zero means 1.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Replications pools this many independently seeded runs per sweep
+	// point (0 or 1 = single run). Derived per-query metrics then
+	// reflect the pooled runs, smoothing figures at a proportional
+	// compute cost.
+	Replications int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// durations returns (warmup, measure) simulated seconds for the scale.
+// The full-scale window is sized so the complete suite stays
+// laptop-affordable; individual experiments stabilize well within it
+// (each point still covers tens of thousands of queries at N=1000).
+func (o Options) durations() (warmup, measure float64) {
+	if o.Scale == Full {
+		return 300, 1000
+	}
+	return 200, 600
+}
+
+// baseParams returns the defaults adjusted for the option scale.
+func (o Options) baseParams() core.Params {
+	p := core.DefaultParams()
+	p.Seed = o.seed()
+	p.WarmupTime, p.MeasureTime = o.durations()
+	if o.Scale == Quick {
+		p.NetworkSize = 400
+		// Denser queries keep per-query statistics meaningful in the
+		// short quick window without changing per-query behaviour.
+		p.QueryRate = 4 * core.DefaultParams().QueryRate
+	}
+	return p
+}
+
+// Result is one experiment's regenerated artifact.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig4").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Tables holds the regenerated rows (usually one table).
+	Tables []*report.Table
+	// Charts optionally holds ASCII renderings of the figure.
+	Charts []*report.Chart
+}
+
+// WriteTo renders the result's tables and charts.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, t := range r.Tables {
+		n, err := t.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		m, err := io.WriteString(w, "\n")
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, c := range r.Charts {
+		n, err := io.WriteString(w, c.String()+"\n")
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Runner produces one experiment result.
+type Runner func(Options) (*Result, error)
+
+// experiment is a registry entry.
+type experiment struct {
+	title string
+	run   Runner
+}
+
+// registry maps experiment IDs to runners. Populated by init functions
+// in the per-area files.
+var registry = map[string]experiment{}
+
+// register adds an experiment at package init time.
+func register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = experiment{title: title, run: run}
+}
+
+// IDs returns all experiment identifiers in a stable order: the paper
+// artifacts first (table3, then figures in paper order), then the
+// extension and ablation studies alphabetically.
+func IDs() []string {
+	var paper, extra []string
+	for id := range registry {
+		if _, ok := paperOrder(id); ok {
+			paper = append(paper, id)
+		} else {
+			extra = append(extra, id)
+		}
+	}
+	sort.Slice(paper, func(i, j int) bool {
+		a, _ := paperOrder(paper[i])
+		b, _ := paperOrder(paper[j])
+		return a < b
+	})
+	sort.Strings(extra)
+	return append(paper, extra...)
+}
+
+// paperOrder ranks paper artifacts: table3 first, then figure number.
+func paperOrder(id string) (int, bool) {
+	if id == "table3" {
+		return 0, true
+	}
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n, true
+	}
+	return 0, false
+}
+
+// Title returns an experiment's description.
+func Title(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e.title, nil
+}
+
+// Run executes the experiment with the given options.
+func Run(id string, opts Options) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	res, err := e.run(opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = e.title
+	return res, nil
+}
+
+// sweepMemo caches completed sweeps within a process. Several figures
+// are different projections of the same sweep (Figures 3-5 share the
+// cache-size sweep; Figures 16-18 and 19-21 share the poisoning
+// sweeps); on a small machine re-running them would dominate the
+// suite's cost. Keys include every input that affects the runs.
+var sweepMemo sync.Map // string -> []*core.Results
+
+// memoKey builds a cache key from the options and a sweep label.
+func memoKey(opts Options, label string) string {
+	return fmt.Sprintf("%s|scale=%v|seed=%d|reps=%d", label, opts.Scale, opts.seed(), opts.Replications)
+}
+
+// runAllMemo is runAll with process-level memoization under the given
+// label.
+func runAllMemo(opts Options, label string, params []core.Params) ([]*core.Results, error) {
+	key := memoKey(opts, label)
+	if v, ok := sweepMemo.Load(key); ok {
+		return v.([]*core.Results), nil
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	sweepMemo.Store(key, results)
+	return results, nil
+}
+
+// runAll executes a batch of parameter sets in parallel, preserving
+// order, pooling Options.Replications independently seeded runs per
+// point.
+func runAll(opts Options, params []core.Params) ([]*core.Results, error) {
+	reps := opts.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	if reps == 1 {
+		return runFlat(opts, params)
+	}
+	expanded := make([]core.Params, 0, len(params)*reps)
+	for _, p := range params {
+		for r := 0; r < reps; r++ {
+			rp := p
+			rp.Seed = p.Seed + uint64(r+1)*0x51ed2701
+			expanded = append(expanded, rp)
+		}
+	}
+	flat, err := runFlat(opts, expanded)
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]*core.Results, len(params))
+	for i := range params {
+		merged[i] = core.MergeResults(flat[i*reps : (i+1)*reps])
+	}
+	return merged, nil
+}
+
+// runFlat executes each parameter set once, in parallel, preserving
+// order. Each run gets a distinct seed derived from its index so sweep
+// points are independent but reproducible.
+func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
+	results := make([]*core.Results, len(params))
+	errs := make([]error, len(params))
+	sem := make(chan struct{}, opts.parallelism())
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	for i := range params {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := params[i]
+			p.Seed = p.Seed + uint64(i)*0x9e3779b9
+			engine, err := core.New(p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := engine.Run()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res
+			if opts.Progress != nil {
+				progressMu.Lock()
+				fmt.Fprintf(opts.Progress, "  run %d/%d done (N=%d cache=%d)\n",
+					i+1, len(params), p.NetworkSize, p.CacheSize)
+				progressMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// cacheSizesFor returns the cache-size sweep for a given network size,
+// log-spaced as in Figures 3-4. For the largest networks the sweep is
+// capped: exhaustive queries hold per-candidate state for their whole
+// (up to ~1000 s) lifetime, and N=5000 with multi-thousand-entry
+// caches needs tens of gigabytes — beyond a laptop-scale run. The
+// capped range still shows the figures' growth and the satisfaction
+// minimum.
+func cacheSizesFor(networkSize int, scale Scale) []int {
+	all := []int{5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	if scale == Quick {
+		all = []int{5, 10, 20, 50, 100, 200}
+	}
+	maxCache := networkSize
+	if networkSize >= 5000 {
+		maxCache = 1000
+	}
+	out := make([]int, 0, len(all))
+	for _, c := range all {
+		if c <= maxCache {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// networkSizesFor returns the network-size sweep.
+func networkSizesFor(scale Scale) []int {
+	if scale == Full {
+		return []int{200, 500, 1000, 2000, 5000}
+	}
+	return []int{200, 400}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21",
+		// Extensions and ablations beyond the paper's figures.
+		"abl-introprob", "abl-pongsize", "ext-adaptive", "ext-detection",
+		"ext-selfish",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %d experiments", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestTitles(t *testing.T) {
+	for _, id := range IDs() {
+		title, err := Title(id)
+		if err != nil || title == "" {
+			t.Fatalf("Title(%q) = %q, %v", id, title, err)
+		}
+	}
+	if _, err := Title("nope"); err == nil {
+		t.Fatal("Title accepted unknown id")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("Run accepted unknown id")
+	}
+}
+
+// quickOpts keeps experiment smoke tests fast.
+func quickOpts() Options {
+	return Options{Scale: Quick, Seed: 7}
+}
+
+func checkResult(t *testing.T, id string, res *Result) {
+	t.Helper()
+	if res.ID != id {
+		t.Fatalf("result ID %q, want %q", res.ID, id)
+	}
+	if res.Title == "" {
+		t.Fatal("empty title")
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no tables")
+	}
+	for _, tb := range res.Tables {
+		if tb.NumRows() == 0 {
+			t.Fatalf("table %q has no rows", tb.Title)
+		}
+	}
+	var b strings.Builder
+	if _, err := res.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Fatal("WriteTo produced nothing")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	res, err := Run("table3", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "table3", res)
+	rows := res.Tables[0].Rows()
+	if len(rows) != 6 {
+		t.Fatalf("table3 has %d rows, want 6", len(rows))
+	}
+	// Fraction live must decrease from the smallest to the largest
+	// cache size (the paper's core Table 3 observation).
+	first, last := rows[0][1], rows[len(rows)-1][1]
+	if first <= last {
+		t.Fatalf("fraction live did not fall with cache size: %s -> %s", first, last)
+	}
+}
+
+func TestRunFig5ShapesHold(t *testing.T) {
+	res, err := Run("fig5", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig5", res)
+}
+
+func TestRunFig8GuessBeatsFixedExtent(t *testing.T) {
+	res, err := Run("fig8", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig8", res)
+	// The table must contain all four mechanisms.
+	var mechanisms []string
+	for _, row := range res.Tables[0].Rows() {
+		mechanisms = append(mechanisms, row[0])
+	}
+	joined := strings.Join(mechanisms, ",")
+	for _, want := range []string{"FixedExtent", "IterativeDeepening", "GUESS"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("fig8 missing mechanism %s", want)
+		}
+	}
+}
+
+func TestRunFig12(t *testing.T) {
+	res, err := Run("fig12", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig12", res)
+	if got := len(res.Tables[0].Rows()); got != 5 {
+		t.Fatalf("fig12 rows = %d, want 5 policies", got)
+	}
+}
+
+func TestRunFig13(t *testing.T) {
+	res, err := Run("fig13", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig13", res)
+	// 5 columns: rank + 4 combos.
+	if got := len(res.Tables[0].Columns); got != 5 {
+		t.Fatalf("fig13 columns = %d, want 5", got)
+	}
+}
+
+func TestRunFig15(t *testing.T) {
+	res, err := Run("fig15", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig15", res)
+}
+
+func TestRunFig17PoisoningHurts(t *testing.T) {
+	res, err := Run("fig17", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig17", res)
+	// MFS at 20% bad must be worse than MFS at 0% bad.
+	rows := res.Tables[0].Rows()
+	var mfs0, mfs20 string
+	for _, row := range rows {
+		if row[0] == "MFS" && row[1] == "0" {
+			mfs0 = row[2]
+		}
+		if row[0] == "MFS" && row[1] == "20" {
+			mfs20 = row[2]
+		}
+	}
+	if mfs0 == "" || mfs20 == "" {
+		t.Fatalf("MFS rows missing: %v", rows)
+	}
+	a, err := strconv.ParseFloat(mfs0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := strconv.ParseFloat(mfs20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("MFS unsatisfaction did not rise under poisoning: %v -> %v", a, b)
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var b strings.Builder
+	opts := quickOpts()
+	opts.Progress = &b
+	if _, err := Run("fig12", opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "done") {
+		t.Fatal("no progress lines written")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Fatal("Scale names wrong")
+	}
+}

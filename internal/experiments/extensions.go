@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("ext-adaptive", "Extension: adaptive parallel probes (paper §6.2 future work)", runExtAdaptive)
+	register("ext-selfish", "Extension: selfish peers and probe payments (paper §3.3)", runExtSelfish)
+	register("ext-detection", "Extension: pong-poisoning detection (paper §6.4 future work)", runExtDetection)
+	register("abl-pongsize", "Ablation: pong size vs query cost and cache health", runAblPongSize)
+	register("abl-introprob", "Ablation: introduction probability vs performance", runAblIntroProb)
+}
+
+func runExtAdaptive(opts Options) (*Result, error) {
+	type mode struct {
+		name   string
+		mutate func(*core.Params)
+	}
+	modes := []mode{
+		{"serial (spec)", func(*core.Params) {}},
+		{"parallel k=5", func(p *core.Params) { p.ParallelProbes = 5 }},
+		{"parallel k=10", func(p *core.Params) { p.ParallelProbes = 10 }},
+		{"adaptive (2x on stall)", func(p *core.Params) {
+			p.AdaptiveParallel = true
+			p.AdaptiveParallelWindow = 5
+			p.MaxParallelProbes = 64
+		}},
+	}
+	params := make([]core.Params, len(modes))
+	for i, m := range modes {
+		p := opts.baseParams()
+		m.mutate(&p)
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Adaptive parallel probes: cost vs response time",
+		"Mode", "ProbesPerQuery", "AvgResponseTime", "Unsatisfaction")
+	for i, m := range modes {
+		r := results[i]
+		t.AddRow(m.name, r.ProbesPerQuery(), r.AvgResponseTime(), r.UnsatisfactionWithAborted())
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runExtSelfish(opts Options) (*Result, error) {
+	fractions := []float64{0, 10, 30}
+	var params []core.Params
+	for _, payments := range []bool{false, true} {
+		for _, f := range fractions {
+			p := opts.baseParams()
+			p.PercentSelfishPeers = f
+			p.SelfishParallelProbes = 500
+			p.ProbePayments = payments
+			p.MaxProbesPerSecond = 20
+			params = append(params, p)
+		}
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Selfish peers: network load with and without probe payments",
+		"ProbePayments", "PercentSelfish", "TotalProbesReceived", "RefusedPerQuery", "Top1%LoadShare")
+	idx := 0
+	for _, payments := range []bool{false, true} {
+		for _, f := range fractions {
+			r := results[idx]
+			loads := make([]float64, len(r.PeerLoads))
+			for i, l := range r.PeerLoads {
+				loads[i] = float64(l)
+			}
+			t.AddRow(payments, f, r.TotalLoad(), r.RefusedProbesPerQuery(), stats.TopShare(loads, 0.01))
+			idx++
+		}
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runExtDetection(opts Options) (*Result, error) {
+	fractions := poisonFractions(opts.Scale)
+	var params []core.Params
+	for _, detect := range []bool{false, true} {
+		for _, f := range fractions {
+			// MFS is the policy that poisoning actually defeats, so it
+			// is where detection earns its keep.
+			p := opts.baseParams()
+			p.QueryProbe = policy.SelMFS
+			p.QueryPong = policy.SelMFS
+			p.CacheReplacement = policy.EvLFS
+			p.PercentBadPeers = f
+			p.BadPong = core.BadPongDead
+			p.PoisonDetection = detect
+			params = append(params, p)
+		}
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Poison detection: MFS under dead-address poisoning",
+		"Detection", "PercentBadPeers", "ProbesPerQuery", "DeadPerQuery", "Unsatisfaction", "Blacklisted")
+	idx := 0
+	for _, detect := range []bool{false, true} {
+		for _, f := range fractions {
+			r := results[idx]
+			t.AddRow(detect, f, r.ProbesPerQuery(), r.DeadProbesPerQuery(),
+				r.UnsatisfactionWithAborted(), r.BlacklistEvents)
+			idx++
+		}
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runAblPongSize(opts Options) (*Result, error) {
+	sizes := []int{1, 2, 5, 10, 20}
+	params := make([]core.Params, len(sizes))
+	for i, s := range sizes {
+		p := opts.baseParams()
+		p.PongSize = s
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: pong size",
+		"PongSize", "ProbesPerQuery", "Unsatisfaction", "AvgLiveEntries")
+	for i, s := range sizes {
+		r := results[i]
+		t.AddRow(s, r.ProbesPerQuery(), r.UnsatisfactionWithAborted(), r.AvgLiveEntries)
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runAblIntroProb(opts Options) (*Result, error) {
+	probs := []float64{0, 0.05, 0.1, 0.3, 1}
+	params := make([]core.Params, len(probs))
+	for i, pr := range probs {
+		p := opts.baseParams()
+		p.IntroProb = pr
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: introduction probability",
+		"IntroProb", "ProbesPerQuery", "Unsatisfaction", "AvgLiveEntries")
+	for i, pr := range probs {
+		r := results[i]
+		t.AddRow(pr, r.ProbesPerQuery(), r.UnsatisfactionWithAborted(), r.AvgLiveEntries)
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func init() {
+	register("table3", "Table 3: live link-cache entries vs cache size", runTable3)
+	register("fig3", "Figure 3: probes per query vs cache size", runFig3)
+	register("fig4", "Figure 4: unsatisfaction vs cache size", runFig4)
+	register("fig5", "Figure 5: dead vs good probes vs cache size", runFig5)
+	register("fig6", "Figure 6: overlay connectivity vs ping interval (by cache size)", runFig6)
+	register("fig7", "Figure 7: overlay connectivity vs ping interval (by network size)", runFig7)
+}
+
+// strainParams is the Section 6.1 configuration: extra churn via
+// LifespanMultiplier = 0.2.
+func strainParams(opts Options) core.Params {
+	p := opts.baseParams()
+	p.LifespanMultiplier = 0.2
+	return p
+}
+
+func runTable3(opts Options) (*Result, error) {
+	cacheSizes := []int{10, 20, 50, 100, 200, 500}
+	base := strainParams(opts)
+	params := make([]core.Params, len(cacheSizes))
+	for i, c := range cacheSizes {
+		p := base
+		p.CacheSize = c
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 3: breakdown of live cache entries",
+		"CacheSize", "FractionLive", "AbsoluteLive")
+	for i, c := range cacheSizes {
+		t.AddRow(c, results[i].AvgLiveFraction, results[i].AvgLiveEntries)
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+// cacheSweep runs the Figures 3-5 sweep: cache size x network size
+// under churn strain.
+func cacheSweep(opts Options, networkSizes []int) (map[int][]int, map[int][]*core.Results, error) {
+	var params []core.Params
+	type key struct{ n, idx int }
+	sizes := make(map[int][]int, len(networkSizes))
+	var order []key
+	for _, n := range networkSizes {
+		cs := cacheSizesFor(n, opts.Scale)
+		sizes[n] = cs
+		for i := range cs {
+			p := strainParams(opts)
+			p.NetworkSize = n
+			p.CacheSize = cs[i]
+			params = append(params, p)
+			order = append(order, key{n, i})
+		}
+	}
+	flat, err := runAllMemo(opts, fmt.Sprintf("cacheSweep%v", networkSizes), params)
+	if err != nil {
+		return nil, nil, err
+	}
+	byNet := make(map[int][]*core.Results, len(networkSizes))
+	for _, n := range networkSizes {
+		byNet[n] = make([]*core.Results, len(sizes[n]))
+	}
+	for j, k := range order {
+		byNet[k.n][k.idx] = flat[j]
+	}
+	return sizes, byNet, nil
+}
+
+func runFig3(opts Options) (*Result, error) {
+	nets := networkSizesFor(opts.Scale)
+	sizes, byNet, err := cacheSweep(opts, nets)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 3: probes per query vs cache size",
+		"NetworkSize", "CacheSize", "ProbesPerQuery")
+	chart := report.NewChart("Figure 3", "CacheSize", "Probes/Query")
+	chart.LogX = true
+	for _, n := range nets {
+		var xs, ys []float64
+		for i, c := range sizes[n] {
+			ppq := byNet[n][i].ProbesPerQuery()
+			t.AddRow(n, c, ppq)
+			xs = append(xs, float64(c))
+			ys = append(ys, ppq)
+		}
+		if err := chart.Add(report.Series{Name: fmt.Sprintf("N=%d", n), X: xs, Y: ys}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+}
+
+func runFig4(opts Options) (*Result, error) {
+	nets := networkSizesFor(opts.Scale)
+	sizes, byNet, err := cacheSweep(opts, nets)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 4: unsatisfaction vs cache size",
+		"NetworkSize", "CacheSize", "Unsatisfaction")
+	chart := report.NewChart("Figure 4", "CacheSize", "Unsatisfied fraction")
+	chart.LogX = true
+	for _, n := range nets {
+		var xs, ys []float64
+		for i, c := range sizes[n] {
+			u := byNet[n][i].UnsatisfactionWithAborted()
+			t.AddRow(n, c, u)
+			xs = append(xs, float64(c))
+			ys = append(ys, u)
+		}
+		if err := chart.Add(report.Series{Name: fmt.Sprintf("N=%d", n), X: xs, Y: ys}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+}
+
+func runFig5(opts Options) (*Result, error) {
+	n := 1000
+	if opts.Scale == Quick {
+		n = 400
+	}
+	sizes, byNet, err := cacheSweep(opts, []int{n})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5: dead vs good probes per query (NetworkSize=%d)", n),
+		"CacheSize", "GoodProbes", "DeadProbes")
+	chart := report.NewChart("Figure 5", "CacheSize", "Probes/Query")
+	chart.LogX = true
+	var xs, good, dead []float64
+	for i, c := range sizes[n] {
+		r := byNet[n][i]
+		t.AddRow(c, r.GoodProbesPerQuery(), r.DeadProbesPerQuery())
+		xs = append(xs, float64(c))
+		good = append(good, r.GoodProbesPerQuery())
+		dead = append(dead, r.DeadProbesPerQuery())
+	}
+	if err := chart.Add(report.Series{Name: "Good", X: xs, Y: good}); err != nil {
+		return nil, err
+	}
+	if err := chart.Add(report.Series{Name: "Dead", X: xs, Y: dead}); err != nil {
+		return nil, err
+	}
+	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+}
+
+// pingIntervals is the Figures 6-7 x-axis.
+func pingIntervals(scale Scale) []float64 {
+	if scale == Full {
+		return []float64{15, 60, 120, 240, 480, 600}
+	}
+	return []float64{15, 60, 240, 600}
+}
+
+// connectivityParams configures the Section 6.1 connectivity study:
+// pings only, overlay sampling on. The study keeps the section's
+// churn strain (LifespanMultiplier=0.2) — without it the overlay never
+// fragments at any ping interval the paper plots — and runs long
+// enough for link caches to reach their inheritance steady state
+// (newborns copy their friend's cache, so occupancy builds over
+// generations).
+func connectivityParams(opts Options) core.Params {
+	p := opts.baseParams()
+	p.QueriesEnabled = false
+	p.SampleConnectivity = true
+	p.SampleInterval = 120
+	p.LifespanMultiplier = 0.2
+	if opts.Scale == Full {
+		p.WarmupTime, p.MeasureTime = 2000, 6000
+	} else {
+		p.WarmupTime, p.MeasureTime = 1000, 3000
+	}
+	return p
+}
+
+func runFig6(opts Options) (*Result, error) {
+	cacheSizes := []int{10, 20, 50, 100, 200, 500}
+	if opts.Scale == Quick {
+		cacheSizes = []int{10, 50, 200}
+	}
+	intervals := pingIntervals(opts.Scale)
+	n := 1000
+	if opts.Scale == Quick {
+		n = 400
+	}
+	var params []core.Params
+	for _, c := range cacheSizes {
+		for _, pi := range intervals {
+			p := connectivityParams(opts)
+			p.NetworkSize = n
+			p.CacheSize = c
+			p.PingInterval = pi
+			params = append(params, p)
+		}
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 6: largest connected component vs ping interval (NetworkSize=%d)", n),
+		"CacheSize", "PingInterval", "LargestWCC")
+	chart := report.NewChart("Figure 6", "PingInterval (s)", "Largest connected component")
+	idx := 0
+	for _, c := range cacheSizes {
+		var xs, ys []float64
+		for _, pi := range intervals {
+			wcc := results[idx].AvgLargestWCC
+			t.AddRow(c, pi, wcc)
+			xs = append(xs, pi)
+			ys = append(ys, wcc)
+			idx++
+		}
+		if err := chart.Add(report.Series{Name: fmt.Sprintf("cache=%d", c), X: xs, Y: ys}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+}
+
+func runFig7(opts Options) (*Result, error) {
+	nets := []int{200, 500, 1000, 2000}
+	if opts.Scale == Quick {
+		nets = []int{200, 400}
+	}
+	intervals := pingIntervals(opts.Scale)
+	var params []core.Params
+	for _, n := range nets {
+		for _, pi := range intervals {
+			p := connectivityParams(opts)
+			p.NetworkSize = n
+			p.CacheSize = 20
+			p.PingInterval = pi
+			params = append(params, p)
+		}
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 7: relative largest connected component vs ping interval (CacheSize=20)",
+		"NetworkSize", "PingInterval", "RelativeLargestWCC")
+	chart := report.NewChart("Figure 7", "PingInterval (s)", "Relative largest component")
+	idx := 0
+	for _, n := range nets {
+		var xs, ys []float64
+		for _, pi := range intervals {
+			rel := results[idx].AvgLargestWCC / float64(n)
+			t.AddRow(n, pi, rel)
+			xs = append(xs, pi)
+			ys = append(ys, rel)
+			idx++
+		}
+		if err := chart.Add(report.Series{Name: fmt.Sprintf("N=%d", n), X: xs, Y: ys}); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+}

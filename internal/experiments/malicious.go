@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/report"
+)
+
+func init() {
+	register("fig16", "Figure 16: probes per query vs malicious fraction (Dead pongs)",
+		poisonRunner(core.BadPongDead, poisonProbes))
+	register("fig17", "Figure 17: unsatisfaction vs malicious fraction (Dead pongs)",
+		poisonRunner(core.BadPongDead, poisonUnsat))
+	register("fig18", "Figure 18: good cache entries vs malicious fraction (Dead pongs)",
+		poisonRunner(core.BadPongDead, poisonGoodEntries))
+	register("fig19", "Figure 19: probes per query vs malicious fraction (colluding)",
+		poisonRunner(core.BadPongBad, poisonProbes))
+	register("fig20", "Figure 20: unsatisfaction vs malicious fraction (colluding)",
+		poisonRunner(core.BadPongBad, poisonUnsat))
+	register("fig21", "Figure 21: good cache entries vs malicious fraction (colluding)",
+		poisonRunner(core.BadPongBad, poisonGoodEntries))
+}
+
+// poisonPolicies are the Section 6.4 contenders. Each selection policy
+// is applied to QueryProbe, QueryPong and CacheReplacement together
+// (with the eviction counterpart), as in the paper.
+var poisonPolicies = []policy.Selection{
+	policy.SelRandom, policy.SelMR, policy.SelMRStar, policy.SelMFS,
+}
+
+// poisonMetric extracts one figure's y-value from a run.
+type poisonMetric struct {
+	column string
+	value  func(*core.Results) float64
+}
+
+var (
+	poisonProbes = poisonMetric{"ProbesPerQuery", func(r *core.Results) float64 {
+		return r.ProbesPerQuery()
+	}}
+	poisonUnsat = poisonMetric{"Unsatisfaction", func(r *core.Results) float64 {
+		return r.UnsatisfactionWithAborted()
+	}}
+	poisonGoodEntries = poisonMetric{"GoodCacheEntries", func(r *core.Results) float64 {
+		return r.AvgGoodEntries
+	}}
+)
+
+func poisonFractions(scale Scale) []float64 {
+	if scale == Full {
+		return []float64{0, 5, 10, 15, 20}
+	}
+	return []float64{0, 10, 20}
+}
+
+// poisonRunner builds the Figures 16-21 sweeps: policy x malicious
+// fraction for one BadPongBehavior, reporting one metric.
+func poisonRunner(behavior core.BadPongBehavior, metric poisonMetric) Runner {
+	return func(opts Options) (*Result, error) {
+		fractions := poisonFractions(opts.Scale)
+		var params []core.Params
+		for _, sel := range poisonPolicies {
+			for _, f := range fractions {
+				p := opts.baseParams()
+				p.QueryProbe = sel
+				p.QueryPong = sel
+				p.CacheReplacement = policy.EvictionFor(sel)
+				p.PercentBadPeers = f
+				p.BadPong = behavior
+				params = append(params, p)
+			}
+		}
+		results, err := runAllMemo(opts, fmt.Sprintf("poison|%s", behavior), params)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("%s vs PercentBadPeers (BadPongBehavior=%s)", metric.column, behavior),
+			"Policy", "PercentBadPeers", metric.column)
+		chart := report.NewChart("", "PercentBadPeers", metric.column)
+		idx := 0
+		for _, sel := range poisonPolicies {
+			var xs, ys []float64
+			for _, f := range fractions {
+				v := metric.value(results[idx])
+				t.AddRow(sel.String(), f, v)
+				xs = append(xs, f)
+				ys = append(ys, v)
+				idx++
+			}
+			if err := chart.Add(report.Series{Name: sel.String(), X: xs, Y: ys}); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+	}
+}

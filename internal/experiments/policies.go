@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/gnutella"
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/simrng"
+)
+
+func init() {
+	register("fig8", "Figure 8: query cost vs unsatisfaction for fixed, coarse and fine flexible extent", runFig8)
+	register("fig9", "Figure 9: probes per query by QueryProbe policy", runFig9)
+	register("fig10", "Figure 10: probes per query by QueryPong policy", runFig10)
+	register("fig11", "Figure 11: probes per query by CacheReplacement policy", runFig11)
+	register("fig12", "Figure 12: unsatisfied queries by QueryPong policy", runFig12)
+	register("fig13", "Figure 13: ranked load distribution by policy combination", runFig13)
+}
+
+func runFig8(opts Options) (*Result, error) {
+	n := 1000
+	queries := 3000
+	if opts.Scale == Quick {
+		n = 400
+		queries = 1000
+	}
+	// Forwarding baselines over a live-peer snapshot sharing the GUESS
+	// content model.
+	u, err := content.New(opts.baseParams().Content)
+	if err != nil {
+		return nil, err
+	}
+	rng := simrng.New(opts.seed()).Stream("fig8")
+	pop, err := gnutella.NewPopulation(u, n, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable("Figure 8: average query cost vs unsatisfaction",
+		"Mechanism", "Config", "AvgCost", "Unsatisfaction")
+
+	extents := []int{1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 400, 540, 700, 850, 1000}
+	var fx, fy []float64
+	for _, extent := range extents {
+		if extent > n {
+			continue
+		}
+		unsat := 0
+		for q := 0; q < queries; q++ {
+			item := u.DrawQuery(rng)
+			if !pop.FixedExtent(rng, item, extent, 1).Satisfied {
+				unsat++
+			}
+		}
+		rate := float64(unsat) / float64(queries)
+		t.AddRow("FixedExtent", fmt.Sprintf("extent=%d", extent), float64(extent), rate)
+		fx = append(fx, float64(extent))
+		fy = append(fy, rate)
+	}
+
+	batches := gnutella.DefaultDeepeningBatches(n)
+	idCost, idUnsat := 0, 0
+	for q := 0; q < queries; q++ {
+		item := u.DrawQuery(rng)
+		res := pop.IterativeDeepening(rng, item, batches, 1)
+		idCost += res.Probes
+		if !res.Satisfied {
+			idUnsat++
+		}
+	}
+	idAvgCost := float64(idCost) / float64(queries)
+	idRate := float64(idUnsat) / float64(queries)
+	t.AddRow("IterativeDeepening", fmt.Sprintf("batches=%v", batches), idAvgCost, idRate)
+
+	// GUESS points: Random baseline and QueryPong=MFS.
+	base := opts.baseParams()
+	base.NetworkSize = n
+	mfs := base
+	mfs.QueryPong = policy.SelMFS
+	results, err := runAll(opts, []core.Params{base, mfs})
+	if err != nil {
+		return nil, err
+	}
+	gr, gm := results[0], results[1]
+	t.AddRow("GUESS", "Random baseline", gr.ProbesPerQuery(), gr.UnsatisfactionWithAborted())
+	t.AddRow("GUESS", "QueryPong=MFS", gm.ProbesPerQuery(), gm.UnsatisfactionWithAborted())
+
+	chart := report.NewChart("Figure 8", "Average query cost (probes)", "Unsatisfied queries")
+	if err := chart.Add(report.Series{Name: "Fixed extent", X: fx, Y: fy}); err != nil {
+		return nil, err
+	}
+	if err := chart.Add(report.Series{Name: "Iterative deepening", X: []float64{idAvgCost}, Y: []float64{idRate}}); err != nil {
+		return nil, err
+	}
+	if err := chart.Add(report.Series{
+		Name: "GUESS (Random, MFS)",
+		X:    []float64{gr.ProbesPerQuery(), gm.ProbesPerQuery()},
+		Y:    []float64{gr.UnsatisfactionWithAborted(), gm.UnsatisfactionWithAborted()},
+	}); err != nil {
+		return nil, err
+	}
+	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
+}
+
+// selectionSweep runs one simulation per selection policy with the
+// given field set, everything else at defaults.
+func selectionSweep(opts Options, set func(*core.Params, policy.Selection)) ([]policy.Selection, []*core.Results, error) {
+	policies := []policy.Selection{
+		policy.SelRandom, policy.SelMRU, policy.SelLRU, policy.SelMFS, policy.SelMR,
+	}
+	params := make([]core.Params, len(policies))
+	for i, sel := range policies {
+		p := opts.baseParams()
+		set(&p, sel)
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return policies, results, nil
+}
+
+func probesByPolicyTable(title string, policies []policy.Selection, results []*core.Results) *report.Table {
+	t := report.NewTable(title, "Policy", "GoodProbes", "DeadProbes", "TotalProbes")
+	for i, sel := range policies {
+		r := results[i]
+		t.AddRow(sel.String(), r.GoodProbesPerQuery(), r.DeadProbesPerQuery(), r.ProbesPerQuery())
+	}
+	return t
+}
+
+func runFig9(opts Options) (*Result, error) {
+	policies, results, err := selectionSweep(opts, func(p *core.Params, s policy.Selection) {
+		p.QueryProbe = s
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := probesByPolicyTable("Figure 9: probes per query by QueryProbe policy", policies, results)
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runFig10(opts Options) (*Result, error) {
+	policies, results, err := selectionSweep(opts, func(p *core.Params, s policy.Selection) {
+		p.QueryPong = s
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := probesByPolicyTable("Figure 10: probes per query by QueryPong policy", policies, results)
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runFig11(opts Options) (*Result, error) {
+	evictions := []policy.Eviction{
+		policy.EvRandom, policy.EvLRU, policy.EvMRU, policy.EvLFS, policy.EvLR,
+	}
+	params := make([]core.Params, len(evictions))
+	for i, ev := range evictions {
+		p := opts.baseParams()
+		p.CacheReplacement = ev
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 11: probes per query by CacheReplacement policy",
+		"Policy", "GoodProbes", "DeadProbes", "TotalProbes")
+	for i, ev := range evictions {
+		r := results[i]
+		t.AddRow(ev.String(), r.GoodProbesPerQuery(), r.DeadProbesPerQuery(), r.ProbesPerQuery())
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runFig12(opts Options) (*Result, error) {
+	policies, results, err := selectionSweep(opts, func(p *core.Params, s policy.Selection) {
+		p.QueryPong = s
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 12: unsatisfied queries by QueryPong policy",
+		"Policy", "Unsatisfaction")
+	for i, sel := range policies {
+		t.AddRow(sel.String(), results[i].UnsatisfactionWithAborted())
+	}
+	return &Result{Tables: []*report.Table{t}}, nil
+}
+
+func runFig13(opts Options) (*Result, error) {
+	combos := []struct {
+		name  string
+		probe policy.Selection
+		repl  policy.Eviction
+	}{
+		{"Random/Random", policy.SelRandom, policy.EvRandom},
+		{"MFS/LFS", policy.SelMFS, policy.EvLFS},
+		{"MR/LR", policy.SelMR, policy.EvLR},
+		{"MRU/LRU", policy.SelMRU, policy.EvLRU},
+	}
+	params := make([]core.Params, len(combos))
+	for i, c := range combos {
+		p := opts.baseParams()
+		p.QueryProbe = c.probe
+		p.CacheReplacement = c.repl
+		params[i] = p
+	}
+	results, err := runAll(opts, params)
+	if err != nil {
+		return nil, err
+	}
+	ranks := []int{1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	cols := []string{"Rank"}
+	for _, c := range combos {
+		cols = append(cols, c.name)
+	}
+	t := report.NewTable("Figure 13: probes received by peer rank", cols...)
+	ranked := make([][]int64, len(combos))
+	for i := range combos {
+		ranked[i] = results[i].RankedLoads()
+	}
+	for _, rank := range ranks {
+		row := make([]any, 0, len(cols))
+		row = append(row, rank)
+		filled := false
+		for i := range combos {
+			if rank <= len(ranked[i]) {
+				row = append(row, ranked[i][rank-1])
+				filled = true
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if !filled {
+			break
+		}
+		t.AddRow(row...)
+	}
+	// Also report total load, showing the fairness/efficiency trade-off.
+	totals := make([]any, 0, len(cols))
+	totals = append(totals, "total")
+	for i := range combos {
+		totals = append(totals, results[i].TotalLoad())
+	}
+	t.AddRow(totals...)
+	return &Result{Tables: []*report.Table{t}}, nil
+}

@@ -1,0 +1,138 @@
+// Package gnutella implements the forwarding-based baselines the paper
+// compares GUESS against (Figure 8):
+//
+//   - fixed-extent search, the Gnutella abstraction: every query
+//     reaches a fixed number of peers regardless of how popular the
+//     target is, so cost never adapts;
+//   - iterative deepening (Yang & Garcia-Molina, ICDCS 2002): coarse
+//     batches of peers are probed round by round until the query is
+//     satisfied;
+//   - true TTL flooding over generated overlay topologies (random and
+//     power-law), used for validation and for the message-amplification
+//     comparison the paper makes qualitatively in Section 3.
+//
+// The baselines share the GUESS content model, so Figure 8's cost /
+// quality trade-off is apples-to-apples.
+package gnutella
+
+import (
+	"fmt"
+
+	"repro/internal/content"
+	"repro/internal/simrng"
+)
+
+// Population is a churn-free set of peer libraries used to evaluate
+// search mechanisms in isolation from cache maintenance. (Flooding
+// reaches only live peers, so a live snapshot is the fair baseline.)
+type Population struct {
+	universe *content.Universe
+	libs     []content.Library
+}
+
+// NewPopulation samples n peers' libraries from the universe.
+func NewPopulation(u *content.Universe, n int, r *simrng.RNG) (*Population, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gnutella: population must have at least 1 peer, got %d", n)
+	}
+	libs := make([]content.Library, n)
+	for i := range libs {
+		libs[i] = u.NewLibrary(r, u.SampleLibrarySize(r))
+	}
+	return &Population{universe: u, libs: libs}, nil
+}
+
+// Size returns the number of peers.
+func (p *Population) Size() int { return len(p.libs) }
+
+// Universe returns the shared content universe.
+func (p *Population) Universe() *content.Universe { return p.universe }
+
+// Library returns peer i's library.
+func (p *Population) Library(i int) content.Library { return p.libs[i] }
+
+// SearchResult reports one query's outcome under a baseline mechanism.
+type SearchResult struct {
+	// Probes is the number of peers that received the query.
+	Probes int
+	// Results is the number of results found.
+	Results int
+	// Satisfied reports whether Results reached the desired count.
+	Satisfied bool
+}
+
+// sample draws k distinct peer indices via Floyd's algorithm.
+func (p *Population) sample(r *simrng.RNG, k int) []int {
+	n := len(p.libs)
+	if k > n {
+		k = n
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for i := n - k; i < n; i++ {
+		j := r.Intn(i + 1)
+		if chosen[j] {
+			j = i
+		}
+		chosen[j] = true
+		out = append(out, j)
+	}
+	return out
+}
+
+// FixedExtent runs one fixed-extent query: the query reaches exactly
+// extent random peers (the set a Gnutella TTL would cover), costing
+// extent probes no matter when results appear.
+func (p *Population) FixedExtent(r *simrng.RNG, item content.ItemID, extent, desired int) SearchResult {
+	if extent < 1 {
+		extent = 1
+	}
+	res := SearchResult{}
+	for _, i := range p.sample(r, extent) {
+		res.Probes++
+		res.Results += p.libs[i].Results(item)
+	}
+	res.Satisfied = res.Results >= desired
+	return res
+}
+
+// IterativeDeepening probes successive batches of previously unprobed
+// random peers, stopping after any batch that satisfies the query.
+// batches lists each round's size; the paper describes rounds of
+// "many peers (e.g., hundreds)".
+func (p *Population) IterativeDeepening(r *simrng.RNG, item content.ItemID, batches []int, desired int) SearchResult {
+	res := SearchResult{}
+	total := 0
+	for _, b := range batches {
+		total += b
+	}
+	if total > len(p.libs) {
+		total = len(p.libs)
+	}
+	order := p.sample(r, total)
+	next := 0
+	for _, b := range batches {
+		for i := 0; i < b && next < len(order); i++ {
+			res.Probes++
+			res.Results += p.libs[order[next]].Results(item)
+			next++
+		}
+		if res.Results >= desired {
+			res.Satisfied = true
+			return res
+		}
+	}
+	res.Satisfied = res.Results >= desired
+	return res
+}
+
+// DefaultDeepeningBatches is the default iterative-deepening policy:
+// coarse rounds growing toward full coverage of a 1000-peer network.
+func DefaultDeepeningBatches(networkSize int) []int {
+	// Rounds at roughly 10%, +20%, +30%, remainder.
+	b1 := networkSize / 10
+	b2 := networkSize / 5
+	b3 := (3 * networkSize) / 10
+	b4 := networkSize - b1 - b2 - b3
+	return []int{b1, b2, b3, b4}
+}

@@ -1,0 +1,169 @@
+package gnutella
+
+import (
+	"fmt"
+
+	"repro/internal/simrng"
+)
+
+// Topology is an undirected overlay graph for flooding experiments.
+type Topology struct {
+	adj [][]int
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.adj) }
+
+// Degree returns node v's degree.
+func (t *Topology) Degree(v int) int { return len(t.adj[v]) }
+
+// Neighbors returns node v's adjacency list (not a copy; do not
+// mutate).
+func (t *Topology) Neighbors(v int) []int { return t.adj[v] }
+
+// NewRandom builds an Erdős–Rényi-style overlay with n nodes and
+// average degree avgDegree, plus a Hamiltonian ring to guarantee
+// connectivity (matching Gnutella bootstrap behavior, where every peer
+// holds at least a couple of live connections).
+func NewRandom(r *simrng.RNG, n, avgDegree int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gnutella: topology needs >= 2 nodes, got %d", n)
+	}
+	if avgDegree < 2 || avgDegree >= n {
+		return nil, fmt.Errorf("gnutella: average degree %d out of range for %d nodes", avgDegree, n)
+	}
+	t := &Topology{adj: make([][]int, n)}
+	seen := make(map[[2]int]bool, n*avgDegree/2)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n)
+	}
+	extra := n * (avgDegree - 2) / 2
+	for i := 0; i < extra; i++ {
+		addEdge(r.Intn(n), r.Intn(n))
+	}
+	return t, nil
+}
+
+// NewPowerLaw builds a Barabási–Albert preferential-attachment overlay:
+// each new node attaches to m existing nodes with probability
+// proportional to their degree. This is the topology class the paper
+// notes arises naturally in Gnutella and makes it fragmentation-prone.
+func NewPowerLaw(r *simrng.RNG, n, m int) (*Topology, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gnutella: attachment count must be >= 1, got %d", m)
+	}
+	if n <= m {
+		return nil, fmt.Errorf("gnutella: need more than %d nodes, got %d", m, n)
+	}
+	t := &Topology{adj: make([][]int, n)}
+	// targets holds one entry per edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	targets := make([]int, 0, 2*m*n)
+	// Seed: a small clique of m+1 nodes.
+	for a := 0; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			t.adj[a] = append(t.adj[a], b)
+			t.adj[b] = append(t.adj[b], a)
+			targets = append(targets, a, b)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		picked := make(map[int]bool, m)
+		for len(picked) < m {
+			picked[targets[r.Intn(len(targets))]] = true
+		}
+		for w := range picked {
+			t.adj[v] = append(t.adj[v], w)
+			t.adj[w] = append(t.adj[w], v)
+			targets = append(targets, v, w)
+		}
+	}
+	return t, nil
+}
+
+// FloodStats reports one flood's reach and traffic.
+type FloodStats struct {
+	// Reached is the set of nodes that received the query (including
+	// the origin).
+	Reached []int
+	// Messages is the number of query messages sent, counting the
+	// duplicates inherent to flooding (each receiver forwards to all
+	// neighbors except the sender while TTL remains).
+	Messages int
+}
+
+// Flood performs a Gnutella-style broadcast from origin with the given
+// TTL. TTL 0 reaches only the origin.
+func (t *Topology) Flood(origin, ttl int) (FloodStats, error) {
+	if origin < 0 || origin >= len(t.adj) {
+		return FloodStats{}, fmt.Errorf("gnutella: origin %d out of range", origin)
+	}
+	if ttl < 0 {
+		return FloodStats{}, fmt.Errorf("gnutella: negative TTL %d", ttl)
+	}
+	depth := make([]int, len(t.adj))
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[origin] = 0
+	stats := FloodStats{Reached: []int{origin}}
+	frontier := []int{origin}
+	for d := 0; d < ttl && len(frontier) > 0; d++ {
+		var next []int
+		for _, v := range frontier {
+			// v forwards to all neighbors except the one it came from
+			// (approximated as degree-1 for non-origin nodes); every
+			// such transmission is a message, duplicate or not.
+			out := len(t.adj[v])
+			if v != origin {
+				out--
+			}
+			stats.Messages += out
+			for _, w := range t.adj[v] {
+				if depth[w] == -1 {
+					depth[w] = d + 1
+					next = append(next, w)
+					stats.Reached = append(stats.Reached, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return stats, nil
+}
+
+// FloodSearch floods a query from origin over the topology and counts
+// results among reached peers using the population's libraries. The
+// topology and population must have the same size.
+func FloodSearch(t *Topology, p *Population, r *simrng.RNG, origin, ttl int, desired int) (SearchResult, FloodStats, error) {
+	if t.NumNodes() != p.Size() {
+		return SearchResult{}, FloodStats{}, fmt.Errorf(
+			"gnutella: topology has %d nodes, population %d", t.NumNodes(), p.Size())
+	}
+	item := p.universe.DrawQuery(r)
+	stats, err := t.Flood(origin, ttl)
+	if err != nil {
+		return SearchResult{}, FloodStats{}, err
+	}
+	res := SearchResult{Probes: len(stats.Reached)}
+	for _, v := range stats.Reached {
+		res.Results += p.libs[v].Results(item)
+	}
+	res.Satisfied = res.Results >= desired
+	return res, stats, nil
+}

@@ -1,0 +1,109 @@
+package gnutella
+
+import (
+	"testing"
+
+	"repro/internal/simrng"
+	"repro/internal/stats"
+)
+
+// TestPowerLawMoreUnequalThanRandom: the degree distribution of a
+// preferential-attachment overlay must be markedly more concentrated
+// than a same-density random overlay — the property behind the paper's
+// fragmentation-attack discussion (Section 3.3).
+func TestPowerLawMoreUnequalThanRandom(t *testing.T) {
+	const n = 600
+	pl, err := NewPowerLaw(simrng.New(1), n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := NewRandom(simrng.New(1), n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gini := func(topo *Topology) float64 {
+		d := make([]float64, topo.NumNodes())
+		for v := range d {
+			d[v] = float64(topo.Degree(v))
+		}
+		return stats.Gini(d)
+	}
+	gPL, gRnd := gini(pl), gini(rnd)
+	if gPL <= gRnd+0.1 {
+		t.Fatalf("power-law degree Gini %.2f not clearly above random %.2f", gPL, gRnd)
+	}
+}
+
+// TestHubRemovalFragmentsPowerLaw: removing the top-degree hubs from a
+// power-law overlay must shrink flood reach far more than removing the
+// same number of random nodes — the fragmentation attack itself.
+func TestHubRemovalFragmentsPowerLaw(t *testing.T) {
+	const n = 600
+	r := simrng.New(2)
+	topo, err := NewPowerLaw(r, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify the top 5% hubs.
+	type nd struct{ v, deg int }
+	all := make([]nd, n)
+	for v := 0; v < n; v++ {
+		all[v] = nd{v, topo.Degree(v)}
+	}
+	// Selection sort of the top k, k is small.
+	k := n / 20
+	removedHubs := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if removedHubs[all[v].v] {
+				continue
+			}
+			if best == -1 || all[v].deg > all[best].deg {
+				best = v
+			}
+		}
+		removedHubs[all[best].v] = true
+	}
+	removedRandom := make(map[int]bool, k)
+	for len(removedRandom) < k {
+		v := r.Intn(n)
+		if !removedHubs[v] { // keep sets comparable but disjoint enough
+			removedRandom[v] = true
+		}
+	}
+
+	reach := func(removed map[int]bool) int {
+		// BFS over the full graph skipping removed nodes, from an
+		// arbitrary surviving node.
+		start := -1
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				start = v
+				break
+			}
+		}
+		seen := make([]bool, n)
+		seen[start] = true
+		queue := []int{start}
+		count := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range topo.Neighbors(v) {
+				if removed[w] || seen[w] {
+					continue
+				}
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+		return count
+	}
+	hubReach := reach(removedHubs)
+	randReach := reach(removedRandom)
+	if hubReach >= randReach {
+		t.Fatalf("hub removal (%d reachable) not worse than random removal (%d)", hubReach, randReach)
+	}
+}

@@ -1,0 +1,94 @@
+package lifetime
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/simrng"
+)
+
+func TestNewRejectsBadMultiplier(t *testing.T) {
+	for _, m := range []float64{0, -1} {
+		if _, err := New(m); err == nil {
+			t.Errorf("New(%v) accepted", m)
+		}
+	}
+}
+
+func TestSamplesPositive(t *testing.T) {
+	m, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := simrng.New(1)
+	for i := 0; i < 10000; i++ {
+		if v := m.Sample(r); v <= 0 {
+			t.Fatalf("non-positive lifetime %v", v)
+		}
+	}
+}
+
+func TestMedianAboutOneHour(t *testing.T) {
+	m, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := simrng.New(2)
+	const n = 50001
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = m.Sample(r)
+	}
+	sort.Float64s(samples)
+	median := samples[n/2]
+	if median < 3000 || median > 4200 {
+		t.Fatalf("median lifetime %v s, want ~3600 s", median)
+	}
+}
+
+func TestMultiplierScales(t *testing.T) {
+	base, _ := New(1)
+	scaled, _ := New(0.2)
+	// Identical seeds must give exactly 0.2x the lifetimes.
+	r1, r2 := simrng.New(7), simrng.New(7)
+	for i := 0; i < 1000; i++ {
+		a, b := base.Sample(r1), scaled.Sample(r2)
+		if math.Abs(b-0.2*a) > 1e-9*a {
+			t.Fatalf("scaling broken: %v vs 0.2*%v", b, a)
+		}
+	}
+	if got, want := scaled.Mean(), 0.2*base.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("scaled mean %v, want %v", got, want)
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	m, _ := New(1)
+	r := simrng.New(3)
+	const n = 100000
+	over8h, under10m := 0, 0
+	for i := 0; i < n; i++ {
+		v := m.Sample(r)
+		if v > 8*3600 {
+			over8h++
+		}
+		if v < 600 {
+			under10m++
+		}
+	}
+	if f := float64(over8h) / n; f < 0.05 || f > 0.15 {
+		t.Errorf("fraction of sessions > 8h = %v, want ~0.10", f)
+	}
+	if f := float64(under10m) / n; f < 0.18 || f > 0.32 {
+		t.Errorf("fraction of sessions < 10m = %v, want ~0.25", f)
+	}
+}
+
+func TestNewFromSamplerFloorsNonPositive(t *testing.T) {
+	m := NewFromSampler(dist.Constant{V: -5})
+	if v := m.Sample(simrng.New(1)); v <= 0 {
+		t.Fatalf("Sample returned non-positive %v from degenerate sampler", v)
+	}
+}

@@ -1,0 +1,311 @@
+// Package overlay analyzes the "conceptual overlay" of a GUESS
+// network: the directed graph whose nodes are live peers and whose
+// edges are link-cache entries pointing at live peers (Figure 2 of the
+// paper). The paper's connectivity experiments (Figures 6 and 7)
+// measure the size of the largest connected component of this graph as
+// the ping interval and cache size vary.
+//
+// Connectivity here means weak connectivity: a peer belongs to the
+// network if information can circulate between it and the rest of the
+// overlay ignoring edge direction, which is the sense in which a
+// fragmented overlay "cannot heal". Strongly connected components are
+// also provided for finer-grained analysis.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+)
+
+// Graph is an immutable snapshot of the conceptual overlay.
+type Graph struct {
+	nodes []cache.PeerID
+	index map[cache.PeerID]int
+	// adj[i] lists indices of nodes that node i points at.
+	adj [][]int
+	// edges counts total directed edges (to live nodes only).
+	edges int
+}
+
+// Builder accumulates a snapshot. Add all nodes first, then edges;
+// edges to unknown (dead) targets are counted separately and excluded
+// from the graph.
+type Builder struct {
+	g         *Graph
+	deadEdges int
+}
+
+// NewBuilder returns a Builder expecting roughly n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{g: &Graph{
+		nodes: make([]cache.PeerID, 0, n),
+		index: make(map[cache.PeerID]int, n),
+	}}
+}
+
+// AddNode registers a live peer. Duplicate registrations are an error.
+func (b *Builder) AddNode(id cache.PeerID) error {
+	if _, ok := b.g.index[id]; ok {
+		return fmt.Errorf("overlay: duplicate node %d", id)
+	}
+	b.g.index[id] = len(b.g.nodes)
+	b.g.nodes = append(b.g.nodes, id)
+	b.g.adj = append(b.g.adj, nil)
+	return nil
+}
+
+// AddEdge records a link-cache entry from -> to. Edges whose target is
+// not a registered (live) node are tallied as dead edges and dropped;
+// self-loops are ignored. Unknown sources are an error.
+func (b *Builder) AddEdge(from, to cache.PeerID) error {
+	fi, ok := b.g.index[from]
+	if !ok {
+		return fmt.Errorf("overlay: edge from unknown node %d", from)
+	}
+	if from == to {
+		return nil
+	}
+	ti, ok := b.g.index[to]
+	if !ok {
+		b.deadEdges++
+		return nil
+	}
+	b.g.adj[fi] = append(b.g.adj[fi], ti)
+	b.g.edges++
+	return nil
+}
+
+// Graph finalizes and returns the snapshot along with the number of
+// dropped dead edges.
+func (b *Builder) Graph() (*Graph, int) {
+	return b.g, b.deadEdges
+}
+
+// NumNodes returns the number of live peers in the snapshot.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of live directed edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Nodes returns the node IDs in insertion order.
+func (g *Graph) Nodes() []cache.PeerID {
+	return append([]cache.PeerID(nil), g.nodes...)
+}
+
+// LargestWCC returns the size of the largest weakly connected
+// component (0 for an empty graph), computed with a union-find over
+// the undirected projection.
+func (g *Graph) LargestWCC() int {
+	n := len(g.nodes)
+	if n == 0 {
+		return 0
+	}
+	uf := newUnionFind(n)
+	for from, targets := range g.adj {
+		for _, to := range targets {
+			uf.union(from, to)
+		}
+	}
+	return uf.largest()
+}
+
+// WCCSizes returns the sizes of all weakly connected components in
+// descending order.
+func (g *Graph) WCCSizes() []int {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil
+	}
+	uf := newUnionFind(n)
+	for from, targets := range g.adj {
+		for _, to := range targets {
+			uf.union(from, to)
+		}
+	}
+	counts := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		counts[uf.find(i)]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// LargestSCC returns the size of the largest strongly connected
+// component, using Tarjan's algorithm (iterative, to avoid deep
+// recursion on large overlays).
+func (g *Graph) LargestSCC() int {
+	n := len(g.nodes)
+	if n == 0 {
+		return 0
+	}
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack
+		next    = 0
+		largest = 0
+	)
+	type frame struct {
+		v, childIdx int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		call := []frame{{v: start}}
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.childIdx == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.childIdx < len(g.adj[v]) {
+				w := g.adj[v][f.childIdx]
+				f.childIdx++
+				if index[w] == unvisited {
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop an SCC if v is a root.
+			if low[v] == index[v] {
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					size++
+					if w == v {
+						break
+					}
+				}
+				if size > largest {
+					largest = size
+				}
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return largest
+}
+
+// OutDegrees returns each node's out-degree (live edges only), aligned
+// with Nodes().
+func (g *Graph) OutDegrees() []int {
+	out := make([]int, len(g.adj))
+	for i, targets := range g.adj {
+		out[i] = len(targets)
+	}
+	return out
+}
+
+// InDegrees returns each node's in-degree, aligned with Nodes().
+func (g *Graph) InDegrees() []int {
+	in := make([]int, len(g.adj))
+	for _, targets := range g.adj {
+		for _, to := range targets {
+			in[to]++
+		}
+	}
+	return in
+}
+
+// ReachableFrom returns how many nodes are reachable from id following
+// directed edges (including id itself). It returns 0 if id is not in
+// the snapshot.
+func (g *Graph) ReachableFrom(id cache.PeerID) int {
+	start, ok := g.index[id]
+	if !ok {
+		return 0
+	}
+	seen := make([]bool, len(g.nodes))
+	seen[start] = true
+	queue := []int{start}
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+func (uf *unionFind) largest() int {
+	best := 0
+	for i := range uf.parent {
+		if uf.parent[i] == i && uf.size[i] > best {
+			best = uf.size[i]
+		}
+	}
+	return best
+}

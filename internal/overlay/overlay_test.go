@@ -1,0 +1,253 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/simrng"
+)
+
+// build constructs a graph from an edge list over nodes 1..n.
+func build(t *testing.T, n int, edges [][2]int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 1; i <= n; i++ {
+		if err := b.AddNode(cache.PeerID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(cache.PeerID(e[0]), cache.PeerID(e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _ := b.Graph()
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	b := NewBuilder(0)
+	g, dead := b.Graph()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 || dead != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if g.LargestWCC() != 0 || g.LargestSCC() != 0 {
+		t.Fatal("components of empty graph not zero")
+	}
+	if g.WCCSizes() != nil {
+		t.Fatal("WCCSizes of empty graph not nil")
+	}
+}
+
+func TestDuplicateNode(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNode(1); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestDeadEdgesDropped(t *testing.T) {
+	b := NewBuilder(2)
+	_ = b.AddNode(1)
+	_ = b.AddNode(2)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(1, 99) // dead target
+	_ = b.AddEdge(1, 1)  // self loop ignored
+	if err := b.AddEdge(42, 1); err == nil {
+		t.Fatal("edge from unknown source accepted")
+	}
+	g, dead := b.Graph()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if dead != 1 {
+		t.Fatalf("dead edges = %d, want 1", dead)
+	}
+}
+
+func TestLargestWCC(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{"isolated", 4, nil, 1},
+		{"chain", 4, [][2]int{{1, 2}, {2, 3}, {3, 4}}, 4},
+		{"two components", 5, [][2]int{{1, 2}, {3, 4}, {4, 5}}, 3},
+		{"direction ignored", 3, [][2]int{{2, 1}, {2, 3}}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := build(t, tt.n, tt.edges)
+			if got := g.LargestWCC(); got != tt.want {
+				t.Fatalf("LargestWCC = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWCCSizes(t *testing.T) {
+	g := build(t, 6, [][2]int{{1, 2}, {2, 3}, {4, 5}})
+	got := g.WCCSizes()
+	want := []int{3, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("WCCSizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WCCSizes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{"no cycles", 3, [][2]int{{1, 2}, {2, 3}}, 1},
+		{"triangle", 3, [][2]int{{1, 2}, {2, 3}, {3, 1}}, 3},
+		{"cycle plus tail", 5, [][2]int{{1, 2}, {2, 1}, {2, 3}, {3, 4}, {4, 5}}, 2},
+		{"two cycles", 6, [][2]int{{1, 2}, {2, 1}, {3, 4}, {4, 5}, {5, 3}, {2, 3}}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := build(t, tt.n, tt.edges)
+			if got := g.LargestSCC(); got != tt.want {
+				t.Fatalf("LargestSCC = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := build(t, 3, [][2]int{{1, 2}, {1, 3}, {2, 3}})
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	if out[0] != 2 || out[1] != 1 || out[2] != 0 {
+		t.Fatalf("OutDegrees = %v", out)
+	}
+	if in[0] != 0 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("InDegrees = %v", in)
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := build(t, 5, [][2]int{{1, 2}, {2, 3}, {4, 5}})
+	if got := g.ReachableFrom(1); got != 3 {
+		t.Fatalf("ReachableFrom(1) = %d, want 3", got)
+	}
+	if got := g.ReachableFrom(3); got != 1 {
+		t.Fatalf("ReachableFrom(3) = %d, want 1", got)
+	}
+	if got := g.ReachableFrom(99); got != 0 {
+		t.Fatalf("ReachableFrom(99) = %d, want 0", got)
+	}
+}
+
+// bruteWCC computes the largest weak component by BFS, as an oracle.
+func bruteWCC(n int, edges [][2]int) int {
+	if n == 0 {
+		return 0
+	}
+	adj := make([][]int, n+1)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n+1)
+	best := 0
+	for s := 1; s <= n; s++ {
+		if seen[s] {
+			continue
+		}
+		size := 0
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			size++
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// TestWCCMatchesBruteForce cross-checks union-find against BFS on
+// random graphs.
+func TestWCCMatchesBruteForce(t *testing.T) {
+	r := simrng.New(1)
+	f := func(seed uint16) bool {
+		n := 2 + r.Intn(40)
+		m := r.Intn(3 * n)
+		edges := make([][2]int, 0, m)
+		for i := 0; i < m; i++ {
+			a := 1 + r.Intn(n)
+			b := 1 + r.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		g := build(t, n, edges)
+		return g.LargestWCC() == bruteWCC(n, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCWithinWCC: any SCC is contained in some WCC.
+func TestSCCWithinWCC(t *testing.T) {
+	r := simrng.New(2)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(30)
+		m := r.Intn(3 * n)
+		edges := make([][2]int, 0, m)
+		for i := 0; i < m; i++ {
+			a := 1 + r.Intn(n)
+			b := 1 + r.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		g := build(t, n, edges)
+		if g.LargestSCC() > g.LargestWCC() {
+			t.Fatalf("SCC %d exceeds WCC %d", g.LargestSCC(), g.LargestWCC())
+		}
+	}
+}
+
+func BenchmarkLargestWCC(b *testing.B) {
+	r := simrng.New(1)
+	const n = 1000
+	bld := NewBuilder(n)
+	for i := 1; i <= n; i++ {
+		_ = bld.AddNode(cache.PeerID(i))
+	}
+	for i := 1; i <= n; i++ {
+		for j := 0; j < 20; j++ {
+			_ = bld.AddEdge(cache.PeerID(i), cache.PeerID(1+r.Intn(n)))
+		}
+	}
+	g, _ := bld.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.LargestWCC()
+	}
+}

@@ -1,0 +1,344 @@
+// Package policy implements the five policy families the paper
+// identifies as decisive for GUESS performance:
+//
+//   - QueryProbe  — order in which cached peers are probed for a query
+//   - QueryPong   — preference when building a pong answering a query
+//   - PingProbe   — order in which cached peers are pinged
+//   - PingPong    — preference when building a pong answering a ping
+//   - CacheReplacement — which entry to evict from a full link cache
+//
+// The first four are Selection policies (Random, MRU, LRU, MFS, MR,
+// MR*); CacheReplacement is an Eviction policy named, per the paper's
+// convention, after what gets evicted (so evicting Least Files Shared
+// retains the Most Files Shared, matching the MFS goal).
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/simrng"
+)
+
+// Selection orders cache entries for probing or pong construction.
+type Selection int
+
+// Selection policies from Section 4 of the paper.
+const (
+	// SelRandom selects uniformly at random; the fairness baseline.
+	SelRandom Selection = iota + 1
+	// SelMRU prefers the most recent timestamps (entries most likely
+	// alive).
+	SelMRU
+	// SelLRU prefers the oldest timestamps (spreads load; risks dead
+	// peers).
+	SelLRU
+	// SelMFS prefers entries advertising the most files shared.
+	SelMFS
+	// SelMR prefers entries with the most results returned historically.
+	SelMR
+	// SelMRStar is MR restricted to the owner's direct experience:
+	// third-party NumRes values are distrusted (scored as zero).
+	SelMRStar
+)
+
+var selectionNames = map[Selection]string{
+	SelRandom: "Random",
+	SelMRU:    "MRU",
+	SelLRU:    "LRU",
+	SelMFS:    "MFS",
+	SelMR:     "MR",
+	SelMRStar: "MR*",
+}
+
+// String returns the paper's abbreviation for the policy.
+func (s Selection) String() string {
+	if n, ok := selectionNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Selection(%d)", int(s))
+}
+
+// Valid reports whether s is a known selection policy.
+func (s Selection) Valid() bool {
+	_, ok := selectionNames[s]
+	return ok
+}
+
+// ParseSelection resolves a policy name ("Random", "MRU", "LRU",
+// "MFS", "MR", "MR*" — case-sensitive, as printed by String).
+func ParseSelection(name string) (Selection, error) {
+	for s, n := range selectionNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown selection policy %q", name)
+}
+
+// MarshalText encodes the policy by name, so configurations serialize
+// readably (JSON, flags, etc.).
+func (s Selection) MarshalText() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("policy: cannot marshal invalid selection %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText decodes a policy name.
+func (s *Selection) UnmarshalText(text []byte) error {
+	parsed, err := ParseSelection(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// Score returns e's preference under s; higher scores are selected
+// first. SelRandom has no score — callers must special-case it (Pick,
+// PickN and Selector do).
+func (s Selection) Score(e cache.Entry) float64 {
+	switch s {
+	case SelMRU:
+		return e.TS
+	case SelLRU:
+		return -e.TS
+	case SelMFS:
+		return float64(e.NumFiles)
+	case SelMR:
+		return float64(e.NumRes)
+	case SelMRStar:
+		if !e.Direct {
+			return 0
+		}
+		return float64(e.NumRes)
+	default:
+		return 0
+	}
+}
+
+// Eviction chooses which entry a full link cache discards. Names follow
+// the paper: the policy name says what gets evicted.
+type Eviction int
+
+// Cache replacement policies from Section 4 of the paper.
+const (
+	// EvRandom evicts a uniformly random entry (and may reject the
+	// candidate instead, with equal probability mass).
+	EvRandom Eviction = iota + 1
+	// EvLRU evicts the least recently used entry, retaining recency
+	// (the MRU goal).
+	EvLRU
+	// EvMRU evicts the most recently used entry, retaining stale
+	// entries (the LRU fairness goal; shown by the paper to be harmful).
+	EvMRU
+	// EvLFS evicts the entry sharing the fewest files, retaining
+	// file-rich peers (the MFS goal).
+	EvLFS
+	// EvLR evicts the entry with the fewest results, retaining
+	// productive peers (the MR goal).
+	EvLR
+	// EvLRStar is EvLR on direct experience only (the MR* goal).
+	EvLRStar
+)
+
+var evictionNames = map[Eviction]string{
+	EvRandom: "Random",
+	EvLRU:    "LRU",
+	EvMRU:    "MRU",
+	EvLFS:    "LFS",
+	EvLR:     "LR",
+	EvLRStar: "LR*",
+}
+
+// String returns the paper's abbreviation for the policy.
+func (ev Eviction) String() string {
+	if n, ok := evictionNames[ev]; ok {
+		return n
+	}
+	return fmt.Sprintf("Eviction(%d)", int(ev))
+}
+
+// Valid reports whether ev is a known eviction policy.
+func (ev Eviction) Valid() bool {
+	_, ok := evictionNames[ev]
+	return ok
+}
+
+// ParseEviction resolves an eviction policy name ("Random", "LRU",
+// "MRU", "LFS", "LR", "LR*").
+func ParseEviction(name string) (Eviction, error) {
+	for ev, n := range evictionNames {
+		if n == name {
+			return ev, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown eviction policy %q", name)
+}
+
+// MarshalText encodes the policy by name.
+func (ev Eviction) MarshalText() ([]byte, error) {
+	if !ev.Valid() {
+		return nil, fmt.Errorf("policy: cannot marshal invalid eviction %d", int(ev))
+	}
+	return []byte(ev.String()), nil
+}
+
+// UnmarshalText decodes an eviction policy name.
+func (ev *Eviction) UnmarshalText(text []byte) error {
+	parsed, err := ParseEviction(string(text))
+	if err != nil {
+		return err
+	}
+	*ev = parsed
+	return nil
+}
+
+// RetainScore returns how much ev wants to keep e; the eviction victim
+// is the entry with the lowest retain score. EvRandom has no score and
+// is special-cased by Insert.
+func (ev Eviction) RetainScore(e cache.Entry) float64 {
+	switch ev {
+	case EvLRU:
+		return e.TS // keep recent
+	case EvMRU:
+		return -e.TS // keep stale
+	case EvLFS:
+		return float64(e.NumFiles)
+	case EvLR:
+		return float64(e.NumRes)
+	case EvLRStar:
+		if !e.Direct {
+			return 0
+		}
+		return float64(e.NumRes)
+	default:
+		return 0
+	}
+}
+
+// EvictionFor returns the eviction policy that retains what sel
+// prefers, i.e. the paper's "reversed criterion" pairing
+// (MFS→LFS, MR→LR, MRU→LRU, LRU→MRU, MR*→LR*, Random→Random).
+func EvictionFor(sel Selection) Eviction {
+	switch sel {
+	case SelMRU:
+		return EvLRU
+	case SelLRU:
+		return EvMRU
+	case SelMFS:
+		return EvLFS
+	case SelMR:
+		return EvLR
+	case SelMRStar:
+		return EvLRStar
+	default:
+		return EvRandom
+	}
+}
+
+// Pick returns the index of the best entry in entries under sel, or -1
+// if entries is empty. SelRandom draws uniformly; scored policies take
+// the highest score, breaking ties in favor of the lowest index (the
+// scan order is itself deterministic, keeping runs reproducible).
+func Pick(r *simrng.RNG, sel Selection, entries []cache.Entry) int {
+	if len(entries) == 0 {
+		return -1
+	}
+	if sel == SelRandom {
+		return r.Intn(len(entries))
+	}
+	best := 0
+	bestScore := sel.Score(entries[0])
+	for i := 1; i < len(entries); i++ {
+		if s := sel.Score(entries[i]); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// PickN returns the indices of up to n entries selected under sel: a
+// uniform sample without replacement for SelRandom, the top n by score
+// otherwise. The result length is min(n, len(entries)).
+func PickN(r *simrng.RNG, sel Selection, entries []cache.Entry, n int) []int {
+	if n <= 0 || len(entries) == 0 {
+		return nil
+	}
+	if n > len(entries) {
+		n = len(entries)
+	}
+	if sel == SelRandom {
+		// Floyd's sampling: O(n) work and space in the sample size, not
+		// the cache size — pongs are built on every probe, and caches
+		// can be large.
+		chosen := make(map[int]bool, n)
+		out := make([]int, 0, n)
+		for i := len(entries) - n; i < len(entries); i++ {
+			j := r.Intn(i + 1)
+			if chosen[j] {
+				j = i
+			}
+			chosen[j] = true
+			out = append(out, j)
+		}
+		return out
+	}
+	// n is small (PongSize is 5 by default); n selection passes over
+	// the slice beat a full sort.
+	chosen := make([]int, 0, n)
+	taken := make([]bool, len(entries))
+	for k := 0; k < n; k++ {
+		best := -1
+		bestScore := 0.0
+		for i, e := range entries {
+			if taken[i] {
+				continue
+			}
+			if s := sel.Score(e); best == -1 || s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		taken[best] = true
+		chosen = append(chosen, best)
+	}
+	return chosen
+}
+
+// Insert applies the CacheReplacement policy ev to place e into c.
+// If the cache has room (or already holds e.Addr, in which case nothing
+// happens), no eviction is needed. When full, the victim is chosen
+// among the existing entries and the candidate itself: a candidate that
+// scores no better than the worst resident is rejected rather than
+// inserted (for EvRandom the candidate is rejected with probability
+// 1/(len+1)). Insert reports whether e ended up in the cache.
+func Insert(r *simrng.RNG, ev Eviction, c *cache.LinkCache, e cache.Entry) bool {
+	if c.Has(e.Addr) {
+		return false
+	}
+	if !c.Full() {
+		return c.Add(e)
+	}
+	entries := c.Entries()
+	if ev == EvRandom {
+		victim := r.Intn(len(entries) + 1)
+		if victim == len(entries) {
+			return false // the candidate itself is the victim
+		}
+		c.ReplaceAt(victim, e)
+		return true
+	}
+	worst := 0
+	worstScore := ev.RetainScore(entries[0])
+	for i := 1; i < len(entries); i++ {
+		if s := ev.RetainScore(entries[i]); s < worstScore {
+			worst, worstScore = i, s
+		}
+	}
+	if ev.RetainScore(e) <= worstScore {
+		return false // candidate is no better than the worst resident
+	}
+	c.ReplaceAt(worst, e)
+	return true
+}

@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"repro/internal/cache"
+	"repro/internal/simrng"
+)
+
+// Selector yields candidate entries one at a time in policy order. It
+// is the QueryProbe engine: a query feeds it the link-cache snapshot
+// and every pong entry received, and pulls the next peer to probe.
+//
+// Scores are computed when a candidate is added, matching a real
+// implementation (a querying peer orders candidates by the metadata it
+// had when it learned of them). SelRandom uses O(1) random extraction;
+// scored policies use a max-heap with FIFO tie-breaking so runs are
+// deterministic.
+type Selector struct {
+	sel Selection
+	rng *simrng.RNG
+
+	// random mode
+	pool []cache.Entry
+
+	// scored mode
+	heap []scoredEntry
+	seq  uint64
+}
+
+type scoredEntry struct {
+	score float64
+	seq   uint64
+	e     cache.Entry
+}
+
+// NewSelector returns a Selector for sel. rng is used by SelRandom and
+// must not be nil for that policy.
+func NewSelector(sel Selection, rng *simrng.RNG) *Selector {
+	return &Selector{sel: sel, rng: rng}
+}
+
+// Len reports the number of pending candidates.
+func (s *Selector) Len() int {
+	if s.sel == SelRandom {
+		return len(s.pool)
+	}
+	return len(s.heap)
+}
+
+// Add inserts a candidate. The caller is responsible for deduplication
+// (see cache.QueryCache).
+func (s *Selector) Add(e cache.Entry) {
+	if s.sel == SelRandom {
+		s.pool = append(s.pool, e)
+		return
+	}
+	s.seq++
+	s.heap = append(s.heap, scoredEntry{score: s.sel.Score(e), seq: s.seq, e: e})
+	s.up(len(s.heap) - 1)
+}
+
+// Next removes and returns the best pending candidate.
+func (s *Selector) Next() (cache.Entry, bool) {
+	if s.sel == SelRandom {
+		n := len(s.pool)
+		if n == 0 {
+			return cache.Entry{}, false
+		}
+		i := s.rng.Intn(n)
+		e := s.pool[i]
+		s.pool[i] = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return e, true
+	}
+	if len(s.heap) == 0 {
+		return cache.Entry{}, false
+	}
+	top := s.heap[0].e
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	if len(s.heap) > 0 {
+		s.down(0)
+	}
+	return top, true
+}
+
+// better orders the heap: higher score first, then FIFO.
+func (s *Selector) better(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.seq < b.seq
+}
+
+func (s *Selector) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.better(i, parent) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *Selector) down(i int) {
+	n := len(s.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && s.better(right, left) {
+			best = right
+		}
+		if !s.better(best, i) {
+			return
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+}

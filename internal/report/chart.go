@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points for charting.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders one or more series as a fixed-size ASCII scatter/line
+// chart — enough to eyeball the shape of a figure in a terminal.
+type Chart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int
+	LogX          bool
+	series        []Series
+}
+
+// NewChart creates a chart with sensible terminal dimensions.
+func NewChart(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel, Width: 64, Height: 16}
+}
+
+// Add appends a series. X and Y must have equal lengths.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// markers label each series' points in drawing order.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			x := c.xVal(s.X[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			total++
+		}
+	}
+	if total == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minY > 0 && minY < maxY {
+		minY = 0 // anchor at zero for honest proportions when possible
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, c.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((c.xVal(s.X[i]) - minX) / (maxX - minX) * float64(c.Width-1))
+			row := c.Height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(c.Height-1))
+			grid[row][col] = m
+		}
+	}
+	fmt.Fprintf(&b, "%12s\n", trimFloat(maxY))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%12s %s\n", trimFloat(minY), strings.Repeat("-", c.Width))
+	xNote := ""
+	if c.LogX {
+		xNote = " (log scale)"
+	}
+	fmt.Fprintf(&b, "%12s %s .. %s  %s%s\n", "", trimFloat(minX2(c, minX)), trimFloat(minX2(c, maxX)), c.XLabel, xNote)
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s\n", c.YLabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// xVal applies the x-axis transform.
+func (c *Chart) xVal(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return 0
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+// minX2 undoes the transform for axis labels.
+func minX2(c *Chart, v float64) float64 {
+	if c.LogX {
+		return math.Pow(10, v)
+	}
+	return v
+}

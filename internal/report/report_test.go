@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-long-name", 0.25)
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tests := []struct {
+		in   any
+		want string
+	}{
+		{1.0, "1"},
+		{1.5, "1.5"},
+		{0.123456, "0.123"},
+		{0.0, "0"},
+		{float32(2.25), "2.25"},
+		{42, "42"},
+		{"text", "text"},
+	}
+	for _, tt := range tests {
+		if got := formatCell(tt.in); got != tt.want {
+			t.Errorf("formatCell(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRowsCopies(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("x")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "x" {
+		t.Fatal("Rows returned a shared slice")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", `has "quotes", and commas`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"has \"\"quotes\"\", and commas\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart did not say so")
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("demo", "cache", "probes")
+	if err := c.Add(Series{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "o a") || !strings.Contains(out, "x b") {
+		t.Fatalf("chart missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("markers not plotted")
+	}
+}
+
+func TestChartRejectsMismatchedSeries(t *testing.T) {
+	c := NewChart("t", "x", "y")
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestChartLogX(t *testing.T) {
+	c := NewChart("log", "cache", "y")
+	c.LogX = true
+	_ = c.Add(Series{Name: "s", X: []float64{10, 100, 1000}, Y: []float64{1, 2, 3}})
+	out := c.String()
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("log annotation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the chart as a standalone SVG document of the given
+// pixel size — the publishable counterpart of the ASCII rendering.
+// Series are drawn as polylines with point markers, with axis ticks,
+// a legend, and optional log-scaled x.
+func (c *Chart) SVG(width, height int) string {
+	if width < 160 {
+		width = 160
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		marginLeft   = 64
+		marginRight  = 16
+		marginTop    = 28
+		marginBottom = 44
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n",
+			marginLeft, escape(c.Title))
+	}
+
+	// Data bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			x := c.xVal(s.X[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">no data</text>`+"\n",
+			marginLeft, marginTop+20)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	if minY > 0 && minY < maxY {
+		minY = 0
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	px := func(x float64) float64 {
+		return float64(marginLeft) + (c.xVal(x)-minX)/(maxX-minX)*plotW
+	}
+	py := func(y float64) float64 {
+		return float64(marginTop) + (1-(y-minY)/(maxY-minY))*plotH
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<g stroke="#333" stroke-width="1">`+"\n")
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+	b.WriteString("</g>\n")
+
+	// Ticks: 5 per axis.
+	const ticks = 5
+	fmt.Fprintf(&b, `<g font-family="sans-serif" font-size="10" fill="#333">`+"\n")
+	for i := 0; i <= ticks; i++ {
+		frac := float64(i) / ticks
+		yVal := minY + frac*(maxY-minY)
+		y := py(yVal)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+3, trimFloat(yVal))
+
+		xT := minX + frac*(maxX-minX)
+		xLabel := xT
+		if c.LogX {
+			xLabel = math.Pow(10, xT)
+		}
+		x := float64(marginLeft) + frac*plotW
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginBottom+14, trimFloat(xLabel))
+	}
+	// Axis labels.
+	xNote := c.XLabel
+	if c.LogX {
+		xNote += " (log)"
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, height-8, escape(xNote))
+	fmt.Fprintf(&b, `<text x="12" y="%.1f" font-size="11" transform="rotate(-90 12 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(c.YLabel))
+	b.WriteString("</g>\n")
+
+	// Series.
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"}
+	for si, s := range c.series {
+		color := colors[si%len(colors)]
+		if len(s.X) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+	}
+
+	// Legend (top-right corner of the plot).
+	fmt.Fprintf(&b, `<g font-family="sans-serif" font-size="10">`+"\n")
+	for si, s := range c.series {
+		y := marginTop + 12 + si*14
+		x := width - marginRight - 130
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			x, y-3, x+16, y-3, colors[si%len(colors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+20, y, escape(s.Name))
+	}
+	b.WriteString("</g>\n</svg>\n")
+	return b.String()
+}
+
+// escape sanitizes text nodes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func svgChart(t *testing.T) *Chart {
+	t.Helper()
+	c := NewChart("Figure X: demo & more", "CacheSize", "Probes/Query")
+	if err := c.Add(Series{Name: "N=1000", X: []float64{10, 100, 1000}, Y: []float64{50, 90, 120}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "N=<2000>", X: []float64{10, 100, 1000}, Y: []float64{60, 100, 140}}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := svgChart(t).SVG(640, 400)
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSVGContainsElements(t *testing.T) {
+	out := svgChart(t).SVG(640, 400)
+	for _, want := range []string{
+		"<svg", "polyline", "circle", "Figure X: demo &amp; more",
+		"N=1000", "N=&lt;2000&gt;", "CacheSize", "Probes/Query",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series -> two polylines, six circles.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("circles = %d, want 6", got)
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	out := c.SVG(300, 200)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty SVG should say so")
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("empty SVG malformed: %v", err)
+		}
+	}
+}
+
+func TestSVGMinimumSize(t *testing.T) {
+	out := svgChart(t).SVG(1, 1)
+	if !strings.Contains(out, `width="160"`) || !strings.Contains(out, `height="120"`) {
+		t.Fatal("size floor not applied")
+	}
+}
+
+func TestSVGLogX(t *testing.T) {
+	c := NewChart("log", "cache", "y")
+	c.LogX = true
+	_ = c.Add(Series{Name: "s", X: []float64{10, 100, 1000}, Y: []float64{1, 2, 3}})
+	out := c.SVG(640, 400)
+	if !strings.Contains(out, "(log)") {
+		t.Fatal("log annotation missing")
+	}
+	// Tick labels must be de-logged (10, 1000 present rather than 1, 3).
+	if !strings.Contains(out, ">1000<") {
+		t.Fatalf("log tick labels wrong:\n%s", out)
+	}
+}
+
+func TestSVGSinglePointSeries(t *testing.T) {
+	c := NewChart("pt", "x", "y")
+	_ = c.Add(Series{Name: "single", X: []float64{5}, Y: []float64{5}})
+	out := c.SVG(300, 200)
+	if strings.Contains(out, "<polyline") {
+		t.Fatal("single point should not draw a polyline")
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Fatal("single point missing marker")
+	}
+}

@@ -1,0 +1,431 @@
+// Package wire defines the GUESS datagram protocol: the message
+// formats a live (non-simulated) GUESS node exchanges over UDP.
+//
+// GUESS is specified as a successor to Gnutella that replaces flooded
+// TCP messages with unicast UDP probes. This package implements a
+// compact binary encoding of the four protocol messages — Ping, Pong,
+// Query and QueryHit — plus Busy, the overload refusal the paper's
+// capacity-limit mechanism requires (Section 6.3). Per the protocol,
+// a QueryHit carries a piggy-backed pong so every probe grows the
+// querier's query cache.
+//
+// Encoding is fixed-layout big-endian with explicit length prefixes,
+// sized to fit comfortably in a single non-fragmented UDP datagram.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Protocol constants.
+const (
+	// Magic prefixes every datagram.
+	Magic0, Magic1 = 'G', 'U'
+	// Version is the protocol version this package implements.
+	Version = 1
+	// HeaderSize is the fixed header length in bytes.
+	HeaderSize = 14
+	// MaxPacket bounds an encoded message (safe single-datagram size).
+	MaxPacket = 1400
+	// MaxPongEntries bounds the address entries in one pong.
+	MaxPongEntries = 32
+	// MaxHits bounds result names in one QueryHit.
+	MaxHits = 64
+	// MaxNameLen bounds a result or keyword string.
+	MaxNameLen = 255
+)
+
+// Type identifies a message kind.
+type Type uint8
+
+// Message types.
+const (
+	TypePing Type = iota + 1
+	TypePong
+	TypeQuery
+	TypeQueryHit
+	TypeBusy
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case TypePing:
+		return "Ping"
+	case TypePong:
+		return "Pong"
+	case TypeQuery:
+		return "Query"
+	case TypeQueryHit:
+		return "QueryHit"
+	case TypeBusy:
+		return "Busy"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ErrMalformed reports an undecodable datagram.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Message is any GUESS protocol message.
+type Message interface {
+	// Type returns the message kind.
+	Type() Type
+	// ID returns the correlation identifier (echoed in replies).
+	ID() uint64
+
+	encodePayload(dst []byte) ([]byte, error)
+}
+
+// PongEntry is one shared cache pointer: the on-the-wire form of the
+// paper's {IP, TS, NumFiles, NumRes} cache entry. TS is omitted — a
+// receiver timestamps entries itself (trusting a remote clock would be
+// meaningless).
+type PongEntry struct {
+	// Addr is the peer's UDP address (IPv4 or IPv6).
+	Addr netip.AddrPort
+	// NumFiles is the number of files the peer advertises.
+	NumFiles uint32
+	// NumRes is the number of results it last returned.
+	NumRes uint16
+}
+
+// Ping is the cache-maintenance probe. The sender advertises its own
+// file count so the receiver's introduction protocol can build a cache
+// entry for it.
+type Ping struct {
+	MsgID    uint64
+	NumFiles uint32
+}
+
+// Pong answers a Ping with shared cache entries.
+type Pong struct {
+	MsgID   uint64
+	Entries []PongEntry
+}
+
+// Query is a unicast probe asking for up to Desired results matching
+// Keyword. NumFiles advertises the sender for introduction.
+type Query struct {
+	MsgID    uint64
+	Desired  uint8
+	NumFiles uint32
+	Keyword  string
+}
+
+// QueryHit answers a Query with matching file names and a piggy-backed
+// pong.
+type QueryHit struct {
+	MsgID   uint64
+	Results []string
+	Pong    []PongEntry
+}
+
+// Busy tells a prober the receiver is over its probe capacity and the
+// prober should back off.
+type Busy struct {
+	MsgID uint64
+}
+
+// Interface compliance.
+var (
+	_ Message = (*Ping)(nil)
+	_ Message = (*Pong)(nil)
+	_ Message = (*Query)(nil)
+	_ Message = (*QueryHit)(nil)
+	_ Message = (*Busy)(nil)
+)
+
+// Type implements Message.
+func (*Ping) Type() Type     { return TypePing }
+func (*Pong) Type() Type     { return TypePong }
+func (*Query) Type() Type    { return TypeQuery }
+func (*QueryHit) Type() Type { return TypeQueryHit }
+func (*Busy) Type() Type     { return TypeBusy }
+
+// ID implements Message.
+func (m *Ping) ID() uint64     { return m.MsgID }
+func (m *Pong) ID() uint64     { return m.MsgID }
+func (m *Query) ID() uint64    { return m.MsgID }
+func (m *QueryHit) ID() uint64 { return m.MsgID }
+func (m *Busy) ID() uint64     { return m.MsgID }
+
+// Encode serializes a message into a fresh buffer.
+func Encode(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderSize, 64)
+	buf[0], buf[1], buf[2] = Magic0, Magic1, Version
+	buf[3] = byte(m.Type())
+	binary.BigEndian.PutUint64(buf[4:12], m.ID())
+	buf, err := m.encodePayload(buf)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := len(buf) - HeaderSize
+	if payloadLen > MaxPacket-HeaderSize {
+		return nil, fmt.Errorf("wire: %s payload %d bytes exceeds packet budget", m.Type(), payloadLen)
+	}
+	binary.BigEndian.PutUint16(buf[12:14], uint16(payloadLen))
+	return buf, nil
+}
+
+func (m *Ping) encodePayload(dst []byte) ([]byte, error) {
+	return binary.BigEndian.AppendUint32(dst, m.NumFiles), nil
+}
+
+func (m *Pong) encodePayload(dst []byte) ([]byte, error) {
+	return appendEntries(dst, m.Entries)
+}
+
+func (m *Query) encodePayload(dst []byte) ([]byte, error) {
+	if len(m.Keyword) > MaxNameLen {
+		return nil, fmt.Errorf("wire: keyword %d bytes exceeds %d", len(m.Keyword), MaxNameLen)
+	}
+	dst = append(dst, m.Desired)
+	dst = binary.BigEndian.AppendUint32(dst, m.NumFiles)
+	dst = append(dst, byte(len(m.Keyword)))
+	return append(dst, m.Keyword...), nil
+}
+
+func (m *QueryHit) encodePayload(dst []byte) ([]byte, error) {
+	if len(m.Results) > MaxHits {
+		return nil, fmt.Errorf("wire: %d results exceed %d", len(m.Results), MaxHits)
+	}
+	dst = append(dst, byte(len(m.Results)))
+	for _, name := range m.Results {
+		if len(name) > MaxNameLen {
+			return nil, fmt.Errorf("wire: result name %d bytes exceeds %d", len(name), MaxNameLen)
+		}
+		dst = append(dst, byte(len(name)))
+		dst = append(dst, name...)
+	}
+	return appendEntries(dst, m.Pong)
+}
+
+func (m *Busy) encodePayload(dst []byte) ([]byte, error) { return dst, nil }
+
+// appendEntries writes a count-prefixed pong entry list.
+func appendEntries(dst []byte, entries []PongEntry) ([]byte, error) {
+	if len(entries) > MaxPongEntries {
+		return nil, fmt.Errorf("wire: %d pong entries exceed %d", len(entries), MaxPongEntries)
+	}
+	dst = append(dst, byte(len(entries)))
+	for _, e := range entries {
+		if !e.Addr.IsValid() {
+			return nil, fmt.Errorf("wire: invalid pong entry address")
+		}
+		addr := e.Addr.Addr()
+		if addr.Is4() {
+			dst = append(dst, 4)
+			b := addr.As4()
+			dst = append(dst, b[:]...)
+		} else {
+			dst = append(dst, 16)
+			b := addr.As16()
+			dst = append(dst, b[:]...)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, e.Addr.Port())
+		dst = binary.BigEndian.AppendUint32(dst, e.NumFiles)
+		dst = binary.BigEndian.AppendUint16(dst, e.NumRes)
+	}
+	return dst, nil
+}
+
+// Decode parses a datagram. It returns ErrMalformed (wrapped with
+// detail) for anything that does not parse exactly.
+func Decode(pkt []byte) (Message, error) {
+	if len(pkt) < HeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes < header", ErrMalformed, len(pkt))
+	}
+	if pkt[0] != Magic0 || pkt[1] != Magic1 {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	if pkt[2] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrMalformed, pkt[2])
+	}
+	msgType := Type(pkt[3])
+	msgID := binary.BigEndian.Uint64(pkt[4:12])
+	payloadLen := int(binary.BigEndian.Uint16(pkt[12:14]))
+	payload := pkt[HeaderSize:]
+	if len(payload) != payloadLen {
+		return nil, fmt.Errorf("%w: payload length %d, declared %d", ErrMalformed, len(payload), payloadLen)
+	}
+	r := reader{buf: payload}
+	switch msgType {
+	case TypePing:
+		numFiles, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return &Ping{MsgID: msgID, NumFiles: numFiles}, nil
+	case TypePong:
+		entries, err := r.entries()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return &Pong{MsgID: msgID, Entries: entries}, nil
+	case TypeQuery:
+		desired, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		numFiles, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		keyword, err := r.shortString()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return &Query{MsgID: msgID, Desired: desired, NumFiles: numFiles, Keyword: keyword}, nil
+	case TypeQueryHit:
+		count, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if int(count) > MaxHits {
+			return nil, fmt.Errorf("%w: %d hits exceed %d", ErrMalformed, count, MaxHits)
+		}
+		results := make([]string, 0, count)
+		for i := 0; i < int(count); i++ {
+			name, err := r.shortString()
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, name)
+		}
+		entries, err := r.entries()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return &QueryHit{MsgID: msgID, Results: results, Pong: entries}, nil
+	case TypeBusy:
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return &Busy{MsgID: msgID}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrMalformed, pkt[3])
+	}
+}
+
+// reader is a bounds-checked cursor over a payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("%w: truncated payload", ErrMalformed)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) shortString() (string, error) {
+	n, err := r.byte()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) entries() ([]PongEntry, error) {
+	count, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > MaxPongEntries {
+		return nil, fmt.Errorf("%w: %d pong entries exceed %d", ErrMalformed, count, MaxPongEntries)
+	}
+	entries := make([]PongEntry, 0, count)
+	for i := 0; i < int(count); i++ {
+		size, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if size != 4 && size != 16 {
+			return nil, fmt.Errorf("%w: address size %d", ErrMalformed, size)
+		}
+		raw, err := r.take(int(size))
+		if err != nil {
+			return nil, err
+		}
+		var addr netip.Addr
+		if size == 4 {
+			addr = netip.AddrFrom4([4]byte(raw))
+		} else {
+			addr = netip.AddrFrom16([16]byte(raw))
+		}
+		port, err := r.uint16()
+		if err != nil {
+			return nil, err
+		}
+		numFiles, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		numRes, err := r.uint16()
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, PongEntry{
+			Addr:     netip.AddrPortFrom(addr, port),
+			NumFiles: numFiles,
+			NumRes:   numRes,
+		})
+	}
+	return entries, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf)-r.off)
+	}
+	return nil
+}

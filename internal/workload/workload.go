@@ -1,0 +1,59 @@
+// Package workload generates the query arrival process described in the
+// paper's experimental setup: each user submits queries in bursts — a
+// uniformly random 1..5 queries in succession — with burst arrivals
+// following a Poisson process tuned so the long-run per-user query rate
+// equals the QueryRate system parameter.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/simrng"
+)
+
+// DefaultQueryRate is the paper's default expected number of queries
+// per user per second (9.26e-3, roughly one query every 108 seconds).
+const DefaultQueryRate = 9.26e-3
+
+// Burst generator parameters.
+const (
+	minBurst = 1
+	maxBurst = 5
+	// meanBurst is the expectation of U{1..5}.
+	meanBurst = float64(minBurst+maxBurst) / 2
+)
+
+// Generator produces per-user query bursts.
+type Generator struct {
+	burstRate float64 // bursts per second per user
+}
+
+// New returns a Generator for the given per-user query rate (queries
+// per second). rate must be positive.
+func New(rate float64) (*Generator, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: query rate must be positive, got %v", rate)
+	}
+	return &Generator{burstRate: rate / meanBurst}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(rate float64) *Generator {
+	g, err := New(rate)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NextBurst draws the delay (seconds) until a user's next query burst
+// and the number of queries in it.
+func (g *Generator) NextBurst(r *simrng.RNG) (delay float64, size int) {
+	delay = r.ExpFloat64() / g.burstRate
+	size = minBurst + r.Intn(maxBurst-minBurst+1)
+	return delay, size
+}
+
+// Rate returns the long-run per-user query rate implied by the
+// generator.
+func (g *Generator) Rate() float64 { return g.burstRate * meanBurst }

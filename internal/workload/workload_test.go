@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simrng"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		if _, err := New(rate); err == nil {
+			t.Errorf("New(%v) accepted", rate)
+		}
+	}
+	if _, err := New(DefaultQueryRate); err != nil {
+		t.Fatalf("default rate rejected: %v", err)
+	}
+}
+
+func TestBurstSizeRange(t *testing.T) {
+	g := MustNew(0.01)
+	r := simrng.New(1)
+	counts := make(map[int]int)
+	for i := 0; i < 50000; i++ {
+		_, size := g.NextBurst(r)
+		if size < 1 || size > 5 {
+			t.Fatalf("burst size %d outside [1,5]", size)
+		}
+		counts[size]++
+	}
+	// Uniform across 1..5.
+	for s := 1; s <= 5; s++ {
+		f := float64(counts[s]) / 50000
+		if math.Abs(f-0.2) > 0.01 {
+			t.Errorf("burst size %d frequency %v, want ~0.2", s, f)
+		}
+	}
+}
+
+func TestLongRunRate(t *testing.T) {
+	const rate = DefaultQueryRate
+	g := MustNew(rate)
+	r := simrng.New(2)
+	totalTime, totalQueries := 0.0, 0
+	for i := 0; i < 100000; i++ {
+		delay, size := g.NextBurst(r)
+		if delay < 0 {
+			t.Fatalf("negative delay %v", delay)
+		}
+		totalTime += delay
+		totalQueries += size
+	}
+	got := float64(totalQueries) / totalTime
+	if math.Abs(got-rate)/rate > 0.03 {
+		t.Fatalf("long-run rate %v, want ~%v", got, rate)
+	}
+	if math.Abs(g.Rate()-rate)/rate > 1e-9 {
+		t.Fatalf("Rate() = %v, want %v", g.Rate(), rate)
+	}
+}

@@ -1,0 +1,279 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+// pingLoop maintains the link cache: every PingInterval it pings one
+// entry chosen by the PingProbe policy, evicting it on timeout and
+// absorbing the pong otherwise.
+func (n *Node) pingLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.PingInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-ticker.C:
+			n.pingOnce()
+		}
+	}
+}
+
+// pingOnce performs one maintenance ping, if the cache is non-empty.
+func (n *Node) pingOnce() {
+	n.mu.Lock()
+	entries := n.link.Entries()
+	i := policy.Pick(n.rng, n.cfg.PingProbe, entries)
+	var target netip.AddrPort
+	var id cache.PeerID
+	if i >= 0 {
+		id = entries[i].Addr
+		target = n.addrs[id]
+	}
+	n.mu.Unlock()
+	if i < 0 || !target.IsValid() {
+		return
+	}
+
+	msgID := n.msgID.Add(1)
+	replies, cancel := n.await(msgID)
+	defer cancel()
+
+	n.stats.pingsSent.Add(1)
+	if err := n.send(&wire.Ping{MsgID: msgID, NumFiles: uint32(len(n.cfg.Files))}, target); err != nil {
+		n.logf("ping %v: %v", target, err)
+		return
+	}
+	timer := time.NewTimer(n.cfg.ProbeTimeout)
+	defer timer.Stop()
+	select {
+	case <-n.closed:
+	case <-timer.C:
+		// Presumed dead: evict.
+		n.mu.Lock()
+		n.link.Remove(id)
+		n.mu.Unlock()
+		n.stats.deadEvictions.Add(1)
+	case msg := <-replies:
+		if pong, ok := msg.(*wire.Pong); ok {
+			n.stats.pongsReceived.Add(1)
+			n.mu.Lock()
+			n.link.Touch(id, n.now())
+			n.absorbPong(pong.Entries)
+			n.mu.Unlock()
+		}
+	}
+}
+
+// absorbPong runs cache replacement over received entries; callers
+// hold n.mu.
+func (n *Node) absorbPong(entries []wire.PongEntry) {
+	self := n.Addr()
+	for _, pe := range entries {
+		if pe.Addr == self || !pe.Addr.IsValid() {
+			continue
+		}
+		id := n.idFor(pe.Addr)
+		policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, cache.Entry{
+			Addr:     id,
+			TS:       n.now(),
+			NumFiles: int32(clampFiles(pe.NumFiles)),
+			NumRes:   int32(pe.NumRes),
+			Direct:   false,
+		})
+	}
+}
+
+// Query runs a GUESS search: it serially probes peers from the link
+// cache and the growing query cache, under the QueryProbe policy,
+// until `desired` results arrive, the candidates are exhausted, or ctx
+// is done. It returns the hits collected so far in every case; the
+// error is non-nil only for invalid arguments or a closed node.
+func (n *Node) Query(ctx context.Context, keyword string, desired int) ([]Hit, QueryStats, error) {
+	var stats QueryStats
+	if keyword == "" || len(keyword) > wire.MaxNameLen {
+		return nil, stats, fmt.Errorf("node: invalid keyword %q", keyword)
+	}
+	if desired < 1 || desired > 255 {
+		return nil, stats, fmt.Errorf("node: desired results %d outside [1,255]", desired)
+	}
+	select {
+	case <-n.closed:
+		return nil, stats, errClosed
+	default:
+	}
+
+	// Snapshot the link cache into the candidate set.
+	n.mu.Lock()
+	sel := policy.NewSelector(n.cfg.QueryProbe, n.rng)
+	qc := cache.NewQueryCache()
+	selfID := n.idFor(n.Addr())
+	qc.Add(cache.Entry{Addr: selfID})
+	qc.Consume(selfID)
+	for _, e := range n.link.Entries() {
+		if qc.Add(e) {
+			sel.Add(e)
+		}
+	}
+	n.mu.Unlock()
+
+	var hits []Hit
+	for len(hits) < desired {
+		select {
+		case <-ctx.Done():
+			return hits, stats, nil
+		case <-n.closed:
+			return hits, stats, nil
+		default:
+		}
+		n.mu.Lock()
+		entry, ok := sel.Next()
+		var target netip.AddrPort
+		if ok {
+			qc.Consume(entry.Addr)
+			target = n.addrs[entry.Addr]
+		}
+		n.mu.Unlock()
+		if !ok {
+			break // exhausted
+		}
+		if !target.IsValid() {
+			continue
+		}
+		newHits := n.probe(ctx, target, entry.Addr, keyword, desired-len(hits), &stats, sel, qc)
+		hits = append(hits, newHits...)
+	}
+	return hits, stats, nil
+}
+
+// probe sends one query probe and processes the reply.
+func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID,
+	keyword string, want int, stats *QueryStats,
+	sel *policy.Selector, qc *cache.QueryCache) []Hit {
+
+	msgID := n.msgID.Add(1)
+	replies, cancel := n.await(msgID)
+	defer cancel()
+
+	stats.Probes++
+	q := &wire.Query{
+		MsgID:    msgID,
+		Desired:  uint8(want),
+		NumFiles: uint32(len(n.cfg.Files)),
+		Keyword:  keyword,
+	}
+	if err := n.send(q, target); err != nil {
+		n.logf("query %v: %v", target, err)
+		stats.Dead++
+		return nil
+	}
+
+	timer := time.NewTimer(n.cfg.ProbeTimeout)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return nil
+	case <-n.closed:
+		return nil
+	case <-timer.C:
+		// Timeout: presumed dead, evicted per the protocol.
+		stats.Dead++
+		n.mu.Lock()
+		n.link.Remove(id)
+		n.mu.Unlock()
+		n.stats.deadEvictions.Add(1)
+		return nil
+	case msg := <-replies:
+		switch m := msg.(type) {
+		case *wire.Busy:
+			// Refused: treat like the simulator's no-backoff default —
+			// drop the overloaded peer from the cache.
+			stats.Refused++
+			n.mu.Lock()
+			n.link.Remove(id)
+			n.mu.Unlock()
+			return nil
+		case *wire.QueryHit:
+			stats.Good++
+			n.mu.Lock()
+			n.link.Touch(id, n.now())
+			n.link.SetNumRes(id, int32(len(m.Results)))
+			// Grow the query cache and the link cache from the
+			// piggy-backed pong.
+			self := n.Addr()
+			for _, pe := range m.Pong {
+				if pe.Addr == self || !pe.Addr.IsValid() {
+					continue
+				}
+				peID := n.idFor(pe.Addr)
+				entry := cache.Entry{
+					Addr:     peID,
+					TS:       n.now(),
+					NumFiles: int32(clampFiles(pe.NumFiles)),
+					NumRes:   int32(pe.NumRes),
+					Direct:   false,
+				}
+				if qc.Add(entry) {
+					sel.Add(entry)
+				}
+				policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, entry)
+			}
+			n.mu.Unlock()
+			hits := make([]Hit, 0, len(m.Results))
+			for _, name := range m.Results {
+				hits = append(hits, Hit{From: target, Name: name})
+			}
+			return hits
+		default:
+			return nil
+		}
+	}
+}
+
+// PingPeer sends one explicit ping (bootstrap helper) and reports
+// whether the peer answered within the probe timeout.
+func (n *Node) PingPeer(ctx context.Context, target netip.AddrPort) (bool, error) {
+	select {
+	case <-n.closed:
+		return false, errClosed
+	default:
+	}
+	msgID := n.msgID.Add(1)
+	replies, cancel := n.await(msgID)
+	defer cancel()
+	n.stats.pingsSent.Add(1)
+	if err := n.send(&wire.Ping{MsgID: msgID, NumFiles: uint32(len(n.cfg.Files))}, target); err != nil {
+		return false, err
+	}
+	timer := time.NewTimer(n.cfg.ProbeTimeout)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false, ctx.Err()
+	case <-n.closed:
+		return false, errClosed
+	case <-timer.C:
+		return false, nil
+	case msg := <-replies:
+		pong, ok := msg.(*wire.Pong)
+		if !ok {
+			return false, nil
+		}
+		n.stats.pongsReceived.Add(1)
+		n.mu.Lock()
+		id := n.idFor(target)
+		n.link.Touch(id, n.now())
+		n.absorbPong(pong.Entries)
+		n.mu.Unlock()
+		return true, nil
+	}
+}

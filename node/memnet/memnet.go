@@ -1,0 +1,206 @@
+// Package memnet provides an in-memory packet network implementing
+// net.PacketConn, for testing live GUESS nodes without real sockets.
+// It supports configurable packet loss and delivery latency, making
+// protocol robustness (dead-peer detection, probe timeouts, busy
+// refusals) testable deterministically and without binding ports.
+package memnet
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/simrng"
+)
+
+// Network is a switchboard connecting in-memory endpoints. Create with
+// New, then Listen endpoints on it.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[netip.AddrPort]*Conn
+	nextPort  uint16
+	rng       *simrng.RNG
+
+	// loss is the probability a packet is silently dropped.
+	loss float64
+	// latency delays every delivery.
+	latency time.Duration
+}
+
+// New creates an empty network. seed drives loss decisions.
+func New(seed uint64) *Network {
+	return &Network{
+		endpoints: make(map[netip.AddrPort]*Conn),
+		nextPort:  10000,
+		rng:       simrng.New(seed),
+	}
+}
+
+// SetLoss sets the packet drop probability (0 = reliable).
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = p
+}
+
+// SetLatency sets a fixed one-way delivery delay.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// Listen creates an endpoint with a fresh address on the network.
+func (n *Network) Listen() *Conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr := netip.AddrPortFrom(netip.MustParseAddr("10.99.0.1"), n.nextPort)
+	n.nextPort++
+	c := &Conn{
+		net:   n,
+		addr:  addr,
+		queue: make(chan packet, 256),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[addr] = c
+	return c
+}
+
+// Partition removes an endpoint from the network without closing it:
+// packets to it vanish and packets from it go nowhere, simulating a
+// peer behind a dead link.
+func (n *Network) Partition(addr netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// deliver routes a packet, applying loss and latency.
+func (n *Network) deliver(from, to netip.AddrPort, data []byte) {
+	n.mu.Lock()
+	dst, ok := n.endpoints[to]
+	drop := n.loss > 0 && n.rng.Bool(n.loss)
+	latency := n.latency
+	n.mu.Unlock()
+	if !ok || drop {
+		return
+	}
+	cp := append([]byte(nil), data...)
+	send := func() {
+		select {
+		case dst.queue <- packet{from: from, data: cp}:
+		case <-dst.done:
+		default: // queue full: drop, like a real NIC
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, send)
+		return
+	}
+	send()
+}
+
+type packet struct {
+	from netip.AddrPort
+	data []byte
+}
+
+// Conn is one endpoint; it implements net.PacketConn.
+type Conn struct {
+	net  *Network
+	addr netip.AddrPort
+
+	queue chan packet
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	mu           sync.Mutex
+	readDeadline time.Time
+}
+
+var _ net.PacketConn = (*Conn)(nil)
+
+// ReadFrom implements net.PacketConn.
+func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
+	var timeout <-chan time.Time
+	c.mu.Lock()
+	if !c.readDeadline.IsZero() {
+		d := time.Until(c.readDeadline)
+		if d <= 0 {
+			c.mu.Unlock()
+			return 0, nil, os.ErrDeadlineExceeded
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	c.mu.Unlock()
+	select {
+	case <-c.done:
+		return 0, nil, net.ErrClosed
+	case <-timeout:
+		return 0, nil, os.ErrDeadlineExceeded
+	case pkt := <-c.queue:
+		n := copy(p, pkt.data)
+		return n, net.UDPAddrFromAddrPort(pkt.from), nil
+	}
+}
+
+// WriteTo implements net.PacketConn.
+func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	select {
+	case <-c.done:
+		return 0, net.ErrClosed
+	default:
+	}
+	to, err := toAddrPort(addr)
+	if err != nil {
+		return 0, err
+	}
+	c.net.deliver(c.addr, to, p)
+	return len(p), nil
+}
+
+// Close implements net.PacketConn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.net.Partition(c.addr)
+	})
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (c *Conn) LocalAddr() net.Addr { return net.UDPAddrFromAddrPort(c.addr) }
+
+// SetDeadline implements net.PacketConn (read side only; writes never
+// block).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn; writes are instantaneous.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+func toAddrPort(addr net.Addr) (netip.AddrPort, error) {
+	switch a := addr.(type) {
+	case *net.UDPAddr:
+		return a.AddrPort(), nil
+	default:
+		ap, err := netip.ParseAddrPort(addr.String())
+		if err != nil {
+			return netip.AddrPort{}, fmt.Errorf("memnet: bad address %v: %w", addr, err)
+		}
+		return ap, nil
+	}
+}

@@ -1,0 +1,179 @@
+package memnet
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestBasicDelivery(t *testing.T) {
+	nw := New(1)
+	a := nw.Listen()
+	b := nw.Listen()
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("hello")
+	if _, err := a.WriteTo(msg, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	n, from, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("payload %q", buf[:n])
+	}
+	if from.String() != a.LocalAddr().String() {
+		t.Fatalf("from = %v, want %v", from, a.LocalAddr())
+	}
+}
+
+func TestDistinctAddresses(t *testing.T) {
+	nw := New(1)
+	a := nw.Listen()
+	b := nw.Listen()
+	if a.LocalAddr().String() == b.LocalAddr().String() {
+		t.Fatal("endpoints share an address")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	nw := New(1)
+	c := nw.Listen()
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 8)
+	_, _, err := c.ReadFrom(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Expired deadline fails immediately.
+	c.SetReadDeadline(time.Now().Add(-time.Second))
+	if _, _, err := c.ReadFrom(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	nw := New(1)
+	a := nw.Listen()
+	b := nw.Listen()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("Close not idempotent")
+	}
+	// Reads on a closed conn fail.
+	if _, _, err := b.ReadFrom(make([]byte, 8)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	// Writes to a closed endpoint vanish; writes from a closed conn
+	// fail.
+	if _, err := a.WriteTo([]byte("x"), b.LocalAddr()); err != nil {
+		t.Fatal("write to dead endpoint should not error (UDP semantics)")
+	}
+	if _, err := b.WriteTo([]byte("x"), a.LocalAddr()); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write from closed conn: %v", err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	nw := New(1)
+	a := nw.Listen()
+	b := nw.Listen()
+	defer a.Close()
+	defer b.Close()
+	nw.Partition(addrPortOf(t, b))
+	if _, err := a.WriteTo([]byte("x"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := b.ReadFrom(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned endpoint still received: %v", err)
+	}
+}
+
+func TestLossDropsRoughlyFraction(t *testing.T) {
+	nw := New(7)
+	nw.SetLoss(0.5)
+	a := nw.Listen()
+	b := nw.Listen()
+	defer a.Close()
+	defer b.Close()
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if _, err := a.WriteTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	buf := make([]byte, 8)
+	for {
+		b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			break
+		}
+		received++
+	}
+	if received < sent/4 || received > 3*sent/4 {
+		t.Fatalf("received %d of %d at 50%% loss", received, sent)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	nw := New(1)
+	nw.SetLatency(60 * time.Millisecond)
+	a := nw.Listen()
+	b := nw.Listen()
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if _, err := a.WriteTo([]byte("x"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := b.ReadFrom(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~60ms", elapsed)
+	}
+}
+
+func TestPayloadIsolated(t *testing.T) {
+	nw := New(1)
+	a := nw.Listen()
+	b := nw.Listen()
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("mutate-me")
+	if _, err := a.WriteTo(msg, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	msg[0] = 'X' // sender reuses its buffer
+	buf := make([]byte, 16)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	n, _, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "mutate-me" {
+		t.Fatalf("payload shared with sender buffer: %q", buf[:n])
+	}
+}
+
+func addrPortOf(t *testing.T, c *Conn) netip.AddrPort {
+	t.Helper()
+	u, ok := c.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		t.Fatal("unexpected addr type")
+	}
+	return u.AddrPort()
+}

@@ -1,0 +1,367 @@
+// Package node implements a live GUESS peer speaking the wire protocol
+// over UDP (or any net.PacketConn): the deployable counterpart of the
+// simulator in internal/core.
+//
+// A Node maintains the paper's link cache with periodic pings, answers
+// pings and queries from other peers (with the introduction protocol
+// and policy-driven pong construction), enforces a probe-rate capacity
+// limit with Busy refusals, and executes its own queries by serial
+// unicast probing with a per-query query cache — the complete GUESS
+// loop from Section 2 of the paper, reusing the same cache and policy
+// implementations the simulator is built on.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/simrng"
+	"repro/internal/wire"
+)
+
+// Config configures a live node. Zero fields take defaults (see
+// Default).
+type Config struct {
+	// Files are the names this node shares; queries match by
+	// case-insensitive substring.
+	Files []string
+	// CacheSize is the link cache capacity.
+	CacheSize int
+	// PingInterval is the cache-maintenance period.
+	PingInterval time.Duration
+	// ProbeTimeout is how long a probe waits for a reply before the
+	// target is presumed dead (the GUESS spec's 0.2 s pacing).
+	ProbeTimeout time.Duration
+	// PongSize is the number of addresses per pong.
+	PongSize int
+	// IntroProb is the introduction-protocol probability.
+	IntroProb float64
+	// MaxProbesPerSecond is the Busy-refusal capacity (0 = unlimited).
+	MaxProbesPerSecond int
+
+	// Policies, as in the paper.
+	QueryProbe, QueryPong, PingProbe, PingPong policy.Selection
+	CacheReplacement                           policy.Eviction
+
+	// Seed makes the node's random choices reproducible (0 = 1).
+	Seed uint64
+	// Logf, when non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Default returns a workable live-node configuration mirroring the
+// paper's protocol defaults.
+func Default() Config {
+	return Config{
+		CacheSize:        100,
+		PingInterval:     30 * time.Second,
+		ProbeTimeout:     200 * time.Millisecond,
+		PongSize:         5,
+		IntroProb:        0.1,
+		QueryProbe:       policy.SelRandom,
+		QueryPong:        policy.SelRandom,
+		PingProbe:        policy.SelRandom,
+		PingPong:         policy.SelRandom,
+		CacheReplacement: policy.EvRandom,
+		Seed:             1,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.CacheSize == 0 {
+		c.CacheSize = d.CacheSize
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = d.PingInterval
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = d.ProbeTimeout
+	}
+	if c.PongSize == 0 {
+		c.PongSize = d.PongSize
+	}
+	if c.IntroProb == 0 {
+		c.IntroProb = d.IntroProb
+	}
+	if c.QueryProbe == 0 {
+		c.QueryProbe = d.QueryProbe
+	}
+	if c.QueryPong == 0 {
+		c.QueryPong = d.QueryPong
+	}
+	if c.PingProbe == 0 {
+		c.PingProbe = d.PingProbe
+	}
+	if c.PingPong == 0 {
+		c.PingPong = d.PingPong
+	}
+	if c.CacheReplacement == 0 {
+		c.CacheReplacement = d.CacheReplacement
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	switch {
+	case c.CacheSize < 1:
+		return fmt.Errorf("node: CacheSize must be >= 1, got %d", c.CacheSize)
+	case c.PingInterval <= 0:
+		return fmt.Errorf("node: PingInterval must be positive")
+	case c.ProbeTimeout <= 0:
+		return fmt.Errorf("node: ProbeTimeout must be positive")
+	case c.PongSize < 0 || c.PongSize > wire.MaxPongEntries:
+		return fmt.Errorf("node: PongSize %d outside [0, %d]", c.PongSize, wire.MaxPongEntries)
+	case c.IntroProb < 0 || c.IntroProb > 1:
+		return fmt.Errorf("node: IntroProb %v outside [0,1]", c.IntroProb)
+	case !c.QueryProbe.Valid() || !c.QueryPong.Valid() || !c.PingProbe.Valid() || !c.PingPong.Valid():
+		return fmt.Errorf("node: invalid selection policy")
+	case !c.CacheReplacement.Valid():
+		return fmt.Errorf("node: invalid cache replacement policy")
+	}
+	return nil
+}
+
+// Stats counts a node's protocol activity. Fields are cumulative.
+type Stats struct {
+	PingsSent, PongsReceived     int64
+	PingsReceived, QueriesServed int64
+	ProbesRefused                int64
+	DeadEvictions                int64
+	MalformedDropped             int64
+}
+
+// Hit is one query result.
+type Hit struct {
+	// From is the responding peer.
+	From netip.AddrPort
+	// Name is the matching file name.
+	Name string
+}
+
+// QueryStats reports one query's cost, mirroring the simulator's
+// per-query metrics.
+type QueryStats struct {
+	Probes  int
+	Good    int
+	Dead    int
+	Refused int
+}
+
+// Node is a live GUESS peer. Create with Listen or New; always Close.
+type Node struct {
+	cfg   Config
+	conn  net.PacketConn
+	start time.Time
+
+	mu    sync.Mutex
+	rng   *simrng.RNG
+	link  *cache.LinkCache
+	ids   map[netip.AddrPort]cache.PeerID
+	addrs map[cache.PeerID]netip.AddrPort
+	next  cache.PeerID
+	// load window for Busy refusals
+	winStart int64
+	winCount int
+
+	pendingMu sync.Mutex
+	pending   map[uint64]chan wire.Message
+
+	msgID atomic.Uint64
+
+	stats struct {
+		pingsSent, pongsReceived     atomic.Int64
+		pingsReceived, queriesServed atomic.Int64
+		probesRefused                atomic.Int64
+		deadEvictions                atomic.Int64
+		malformedDropped             atomic.Int64
+	}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Listen binds a UDP socket (e.g. "127.0.0.1:0") and starts the node.
+func Listen(addr string, cfg Config) (*Node, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen: %w", err)
+	}
+	n, err := New(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// New starts a node on an existing transport. The node owns conn and
+// closes it on Close.
+func New(conn net.PacketConn, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		conn:    conn,
+		start:   time.Now(),
+		rng:     simrng.New(cfg.Seed),
+		link:    cache.NewLinkCache(cfg.CacheSize),
+		ids:     make(map[netip.AddrPort]cache.PeerID),
+		addrs:   make(map[cache.PeerID]netip.AddrPort),
+		next:    1,
+		pending: make(map[uint64]chan wire.Message),
+		closed:  make(chan struct{}),
+	}
+	n.msgID.Store(cfg.Seed<<32 | 1)
+	n.wg.Add(2)
+	go n.serveLoop()
+	go n.pingLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() netip.AddrPort {
+	return addrPortOf(n.conn.LocalAddr())
+}
+
+// Close stops the node's goroutines and closes its socket. It is
+// idempotent.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.conn.Close()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		PingsSent:        n.stats.pingsSent.Load(),
+		PongsReceived:    n.stats.pongsReceived.Load(),
+		PingsReceived:    n.stats.pingsReceived.Load(),
+		QueriesServed:    n.stats.queriesServed.Load(),
+		ProbesRefused:    n.stats.probesRefused.Load(),
+		DeadEvictions:    n.stats.deadEvictions.Load(),
+		MalformedDropped: n.stats.malformedDropped.Load(),
+	}
+}
+
+// NumFiles returns the number of files the node shares.
+func (n *Node) NumFiles() int { return len(n.cfg.Files) }
+
+// CacheLen returns the current link cache occupancy.
+func (n *Node) CacheLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.link.Len()
+}
+
+// CacheAddrs returns the addresses currently in the link cache.
+func (n *Node) CacheAddrs() []netip.AddrPort {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]netip.AddrPort, 0, n.link.Len())
+	for _, e := range n.link.Entries() {
+		out = append(out, n.addrs[e.Addr])
+	}
+	return out
+}
+
+// AddPeer seeds the link cache with a known peer (bootstrap).
+func (n *Node) AddPeer(addr netip.AddrPort, numFiles uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.idFor(addr)
+	policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, cache.Entry{
+		Addr:     id,
+		TS:       n.now(),
+		NumFiles: int32(clampFiles(numFiles)),
+		Direct:   true,
+	})
+}
+
+// now is seconds since node start (the TS clock).
+func (n *Node) now() float64 { return time.Since(n.start).Seconds() }
+
+// idFor maps an address to its stable PeerID; callers hold n.mu.
+func (n *Node) idFor(addr netip.AddrPort) cache.PeerID {
+	if id, ok := n.ids[addr]; ok {
+		return id
+	}
+	id := n.next
+	n.next++
+	n.ids[addr] = id
+	n.addrs[id] = addr
+	return id
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+func clampFiles(v uint32) uint32 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return v
+}
+
+// addrPortOf converts a net.Addr to netip.AddrPort.
+func addrPortOf(a net.Addr) netip.AddrPort {
+	if u, ok := a.(*net.UDPAddr); ok {
+		return u.AddrPort()
+	}
+	ap, err := netip.ParseAddrPort(a.String())
+	if err != nil {
+		return netip.AddrPort{}
+	}
+	return ap
+}
+
+// errClosed reports a send attempted after Close.
+var errClosed = errors.New("node: closed")
+
+// send encodes and transmits a message.
+func (n *Node) send(m wire.Message, to netip.AddrPort) error {
+	select {
+	case <-n.closed:
+		return errClosed
+	default:
+	}
+	pkt, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = n.conn.WriteTo(pkt, net.UDPAddrFromAddrPort(to))
+	return err
+}
+
+// matches reports whether name matches the query keyword
+// (case-insensitive substring; an empty keyword matches nothing).
+func matches(name, keyword string) bool {
+	if keyword == "" {
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), strings.ToLower(keyword))
+}

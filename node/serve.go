@@ -1,0 +1,181 @@
+package node
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+// serveLoop reads datagrams and dispatches until the socket closes.
+func (n *Node) serveLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, wire.MaxPacket)
+	for {
+		count, from, err := n.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			// Transient errors (e.g. ICMP port unreachable surfaced on
+			// some platforms) should not kill the node.
+			n.logf("read error: %v", err)
+			continue
+		}
+		msg, err := wire.Decode(buf[:count])
+		if err != nil {
+			n.stats.malformedDropped.Add(1)
+			continue
+		}
+		n.dispatch(msg, addrPortOf(from))
+	}
+}
+
+// dispatch handles one inbound message.
+func (n *Node) dispatch(msg wire.Message, from netip.AddrPort) {
+	switch m := msg.(type) {
+	case *wire.Ping:
+		n.stats.pingsReceived.Add(1)
+		n.handlePing(m, from)
+	case *wire.Query:
+		n.handleQuery(m, from)
+	case *wire.Pong, *wire.QueryHit, *wire.Busy:
+		n.deliver(msg)
+	}
+}
+
+// handlePing applies introduction and replies with a pong.
+func (n *Node) handlePing(m *wire.Ping, from netip.AddrPort) {
+	n.mu.Lock()
+	n.introduce(from, m.NumFiles)
+	entries := n.pongEntries(n.cfg.PingPong, from)
+	n.mu.Unlock()
+	if err := n.send(&wire.Pong{MsgID: m.MsgID, Entries: entries}, from); err != nil {
+		n.logf("pong to %v: %v", from, err)
+	}
+}
+
+// handleQuery checks capacity, matches shared files and replies with a
+// QueryHit carrying the piggy-backed pong — or Busy when overloaded.
+func (n *Node) handleQuery(m *wire.Query, from netip.AddrPort) {
+	n.mu.Lock()
+	if n.overloaded() {
+		n.mu.Unlock()
+		n.stats.probesRefused.Add(1)
+		if err := n.send(&wire.Busy{MsgID: m.MsgID}, from); err != nil {
+			n.logf("busy to %v: %v", from, err)
+		}
+		return
+	}
+	n.introduce(from, m.NumFiles)
+	entries := n.pongEntries(n.cfg.QueryPong, from)
+	n.mu.Unlock()
+	n.stats.queriesServed.Add(1)
+
+	var results []string
+	for _, name := range n.cfg.Files {
+		if matches(name, m.Keyword) {
+			results = append(results, name)
+			if len(results) >= wire.MaxHits || len(results) >= int(m.Desired) {
+				break
+			}
+		}
+	}
+	hit := &wire.QueryHit{MsgID: m.MsgID, Results: results, Pong: entries}
+	if err := n.send(hit, from); err != nil {
+		n.logf("queryhit to %v: %v", from, err)
+	}
+}
+
+// overloaded applies the MaxProbesPerSecond window; callers hold n.mu.
+func (n *Node) overloaded() bool {
+	if n.cfg.MaxProbesPerSecond <= 0 {
+		return false
+	}
+	sec := time.Now().Unix()
+	if sec != n.winStart {
+		n.winStart = sec
+		n.winCount = 0
+	}
+	n.winCount++
+	return n.winCount > n.cfg.MaxProbesPerSecond
+}
+
+// introduce applies the introduction protocol for an interaction
+// initiated by from; callers hold n.mu.
+func (n *Node) introduce(from netip.AddrPort, numFiles uint32) {
+	if from == n.Addr() {
+		return
+	}
+	id := n.idFor(from)
+	n.link.Touch(id, n.now())
+	if !n.rng.Bool(n.cfg.IntroProb) {
+		return
+	}
+	policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, cache.Entry{
+		Addr:     id,
+		TS:       n.now(),
+		NumFiles: int32(clampFiles(numFiles)),
+		Direct:   true,
+	})
+}
+
+// pongEntries builds a pong under the given policy, excluding the
+// recipient's own address; callers hold n.mu.
+func (n *Node) pongEntries(sel policy.Selection, recipient netip.AddrPort) []wire.PongEntry {
+	entries := n.link.Entries()
+	idx := policy.PickN(n.rng, sel, entries, n.cfg.PongSize+1)
+	out := make([]wire.PongEntry, 0, n.cfg.PongSize)
+	for _, i := range idx {
+		e := entries[i]
+		addr := n.addrs[e.Addr]
+		if addr == recipient || !addr.IsValid() {
+			continue
+		}
+		numRes := e.NumRes
+		if numRes < 0 {
+			numRes = 0
+		}
+		out = append(out, wire.PongEntry{
+			Addr:     addr,
+			NumFiles: uint32(e.NumFiles),
+			NumRes:   uint16(min(int(numRes), 1<<16-1)),
+		})
+		if len(out) == n.cfg.PongSize {
+			break
+		}
+	}
+	return out
+}
+
+// deliver routes a response to the waiting request, if any.
+func (n *Node) deliver(msg wire.Message) {
+	n.pendingMu.Lock()
+	ch, ok := n.pending[msg.ID()]
+	n.pendingMu.Unlock()
+	if !ok {
+		return // late reply after timeout; drop
+	}
+	select {
+	case ch <- msg:
+	default:
+	}
+}
+
+// await registers interest in replies to msgID. The caller must call
+// the returned cancel function.
+func (n *Node) await(msgID uint64) (<-chan wire.Message, func()) {
+	ch := make(chan wire.Message, 1)
+	n.pendingMu.Lock()
+	n.pending[msgID] = ch
+	n.pendingMu.Unlock()
+	return ch, func() {
+		n.pendingMu.Lock()
+		delete(n.pending, msgID)
+		n.pendingMu.Unlock()
+	}
+}
