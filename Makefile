@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments-quick experiments-full clean
+.PHONY: all build vet test test-short test-chaos race fuzz-smoke bench experiments-quick experiments-full clean
 
-all: build vet test
+all: build vet test fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,24 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The chaos battery: scripted network-fault scenarios on node/memnet.
+# -count=2 replays every scenario to catch nondeterminism; -race
+# because the scenarios hammer the node's concurrency.
+test-chaos:
+	$(GO) test -race -count=2 -run Chaos ./node
+
+# Race-detect the goroutine-spawning packages (live node + experiment
+# harness). -short keeps the experiment sweeps to the cheap ones — the
+# race detector's ~20x slowdown would push the full battery past the
+# default test timeout — while still covering the worker-pool fan-out.
+race:
+	$(GO) test -race -short -timeout 15m ./node/... ./internal/experiments
+
+# Ten seconds of coverage-guided fuzzing over the wire decoder: cheap
+# insurance that no datagram can panic a live node.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -41,6 +41,10 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 100, "link cache capacity")
 	pingInterval := fs.Duration("ping-interval", 30*time.Second, "cache maintenance period")
 	probeTimeout := fs.Duration("probe-timeout", 200*time.Millisecond, "probe reply timeout")
+	attempts := fs.Int("probe-attempts", 3, "transmissions per probe before a peer is presumed dead (1 = single-shot)")
+	backoff := fs.Duration("retry-backoff", 50*time.Millisecond, "pause before the first retransmission (doubles per attempt)")
+	adaptive := fs.Bool("adaptive-timeout", false, "derive per-attempt deadlines from an RTT EWMA")
+	busyBackoff := fs.Duration("busy-backoff", 0, "suppress Busy peers instead of evicting them (0 = evict on first Busy)")
 	capacity := fs.Int("capacity", 0, "max probes/second served (0 = unlimited)")
 	queryProbe := fs.String("query-probe", "Random", "QueryProbe policy")
 	queryFlag := fs.String("query", "", "run one query and exit")
@@ -59,6 +63,10 @@ func run(args []string) error {
 		CacheSize:          *cacheSize,
 		PingInterval:       *pingInterval,
 		ProbeTimeout:       *probeTimeout,
+		MaxProbeAttempts:   *attempts,
+		RetryBackoff:       *backoff,
+		AdaptiveTimeout:    *adaptive,
+		BusyBackoff:        *busyBackoff,
 		MaxProbesPerSecond: *capacity,
 		QueryProbe:         sel,
 	}
@@ -112,9 +120,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("query %q: %d hits in %v (%d probes: %d good, %d dead, %d refused)\n",
+		fmt.Printf("query %q: %d hits in %v (%d probes: %d good, %d dead, %d refused, %d retries)\n",
 			*queryFlag, len(hits), time.Since(start).Round(time.Millisecond),
-			stats.Probes, stats.Good, stats.Dead, stats.Refused)
+			stats.Probes, stats.Good, stats.Dead, stats.Refused, stats.Retries)
 		for _, h := range hits {
 			fmt.Printf("  %q from %v\n", h.Name, h.From)
 		}
@@ -131,9 +139,10 @@ func run(args []string) error {
 			return nil
 		case <-ticker.C:
 			s := n.Stats()
-			fmt.Printf("cache %d entries | pings sent %d recv %d | queries served %d | refused %d | evicted %d\n",
+			fmt.Printf("cache %d entries | pings sent %d recv %d | queries served %d | refused %d | evicted %d | retries %d | busy-backoffs %d | late %d dup %d\n",
 				n.CacheLen(), s.PingsSent, s.PingsReceived, s.QueriesServed,
-				s.ProbesRefused, s.DeadEvictions)
+				s.ProbesRefused, s.DeadEvictions, s.Retries, s.BusyBackoffs,
+				s.LateReplies, s.DupReplies)
 		}
 	}
 }

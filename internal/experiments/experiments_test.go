@@ -49,6 +49,17 @@ func quickOpts() Options {
 	return Options{Scale: Quick, Seed: 7}
 }
 
+// skipHeavy gates the long simulation sweeps out of -short runs. The
+// Makefile's race target uses -short: the race detector's ~20x
+// slowdown turns the full battery into a multi-ten-minute run, so only
+// the cheapest sweeps stay on to cover the worker-pool concurrency.
+func skipHeavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy simulation sweep; skipped with -short")
+	}
+}
+
 func checkResult(t *testing.T, id string, res *Result) {
 	t.Helper()
 	if res.ID != id {
@@ -75,6 +86,7 @@ func checkResult(t *testing.T, id string, res *Result) {
 }
 
 func TestRunTable3(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("table3", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +105,7 @@ func TestRunTable3(t *testing.T) {
 }
 
 func TestRunFig5ShapesHold(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("fig5", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +133,7 @@ func TestRunFig8GuessBeatsFixedExtent(t *testing.T) {
 }
 
 func TestRunFig12(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("fig12", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -131,6 +145,7 @@ func TestRunFig12(t *testing.T) {
 }
 
 func TestRunFig13(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("fig13", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +158,7 @@ func TestRunFig13(t *testing.T) {
 }
 
 func TestRunFig15(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("fig15", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -151,6 +167,7 @@ func TestRunFig15(t *testing.T) {
 }
 
 func TestRunFig17PoisoningHurts(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("fig17", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -184,6 +201,7 @@ func TestRunFig17PoisoningHurts(t *testing.T) {
 }
 
 func TestProgressWriter(t *testing.T) {
+	skipHeavy(t)
 	var b strings.Builder
 	opts := quickOpts()
 	opts.Progress = &b

@@ -6,6 +6,7 @@ import (
 )
 
 func TestRunExtAdaptive(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("ext-adaptive", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -30,6 +31,7 @@ func TestRunExtAdaptive(t *testing.T) {
 }
 
 func TestRunExtSelfish(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("ext-selfish", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +43,7 @@ func TestRunExtSelfish(t *testing.T) {
 }
 
 func TestRunExtDetection(t *testing.T) {
+	skipHeavy(t)
 	res, err := Run("ext-detection", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -60,6 +63,7 @@ func TestRunExtDetection(t *testing.T) {
 }
 
 func TestRunAblations(t *testing.T) {
+	skipHeavy(t)
 	for _, id := range []string{"abl-pongsize", "abl-introprob"} {
 		res, err := Run(id, quickOpts())
 		if err != nil {
@@ -73,6 +77,7 @@ func TestRunAblations(t *testing.T) {
 }
 
 func TestReplicationsPoolRuns(t *testing.T) {
+	skipHeavy(t)
 	single, err := Run("abl-pongsize", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -87,4 +92,17 @@ func TestReplicationsPoolRuns(t *testing.T) {
 	if pooled.Tables[0].NumRows() != single.Tables[0].NumRows() {
 		t.Fatal("replications changed row count")
 	}
+}
+
+// TestReplicationsPoolShort drives the replication worker pool through
+// the cheapest experiment so `go test -race -short` still exercises
+// the pooled fan-out path.
+func TestReplicationsPoolShort(t *testing.T) {
+	opts := quickOpts()
+	opts.Replications = 2
+	res, err := Run("fig8", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig8", res)
 }

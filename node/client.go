@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/netip"
 	"time"
 
@@ -28,7 +29,8 @@ func (n *Node) pingLoop() {
 	}
 }
 
-// pingOnce performs one maintenance ping, if the cache is non-empty.
+// pingOnce performs one maintenance ping, if the cache has a
+// non-suppressed entry.
 func (n *Node) pingOnce() {
 	n.mu.Lock()
 	entries := n.link.Entries()
@@ -37,37 +39,30 @@ func (n *Node) pingOnce() {
 	var id cache.PeerID
 	if i >= 0 {
 		id = entries[i].Addr
-		target = n.addrs[id]
+		if n.suppressedLocked(id) {
+			i = -1 // demoted this round; try again next tick
+		} else {
+			target = n.addrs[id]
+		}
 	}
 	n.mu.Unlock()
 	if i < 0 || !target.IsValid() {
 		return
 	}
 
-	msgID := n.msgID.Add(1)
-	replies, cancel := n.await(msgID)
-	defer cancel()
-
 	n.stats.pingsSent.Add(1)
-	if err := n.send(&wire.Ping{MsgID: msgID, NumFiles: uint32(len(n.cfg.Files))}, target); err != nil {
-		n.logf("ping %v: %v", target, err)
-		return
-	}
-	timer := time.NewTimer(n.cfg.ProbeTimeout)
-	defer timer.Stop()
-	select {
-	case <-n.closed:
-	case <-timer.C:
-		// Presumed dead: evict.
-		n.mu.Lock()
-		n.link.Remove(id)
-		n.mu.Unlock()
-		n.stats.deadEvictions.Add(1)
-	case msg := <-replies:
-		if pong, ok := msg.(*wire.Pong); ok {
+	ping := &wire.Ping{MsgID: n.msgID.Add(1), NumFiles: uint32(len(n.cfg.Files))}
+	reply, outcome := n.transact(context.Background(), ping, target, nil)
+	switch outcome {
+	case txTimeout:
+		// Presumed dead after every attempt: evict.
+		n.evictDead(id)
+	case txReply:
+		if pong, ok := reply.(*wire.Pong); ok {
 			n.stats.pongsReceived.Add(1)
 			n.mu.Lock()
 			n.link.Touch(id, n.now())
+			delete(n.busyStreak, id)
 			n.absorbPong(pong.Entries)
 			n.mu.Unlock()
 		}
@@ -91,6 +86,174 @@ func (n *Node) absorbPong(entries []wire.PongEntry) {
 			Direct:   false,
 		})
 	}
+}
+
+// txOutcome classifies one transact run.
+type txOutcome int
+
+const (
+	// txReply: a correlated reply arrived.
+	txReply txOutcome = iota
+	// txTimeout: every attempt timed out or failed to send; the target
+	// is presumed dead.
+	txTimeout
+	// txAborted: the context was cancelled or the node closed.
+	txAborted
+)
+
+// transact sends req to target up to MaxProbeAttempts times, waiting
+// one attemptTimeout per transmission with exponential backoff between
+// attempts. It returns the first correlated reply, or nil with the
+// failure classification. Successful first-transmission RTTs feed the
+// adaptive-timeout estimator (Karn's rule: retransmitted exchanges are
+// ambiguous and never sampled). qs, when non-nil, accrues per-query
+// retry counts.
+func (n *Node) transact(ctx context.Context, req wire.Message, target netip.AddrPort, qs *QueryStats) (wire.Message, txOutcome) {
+	replies, cancel := n.await(req.ID())
+	defer cancel()
+
+	backoff := n.cfg.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		sentAt := time.Now()
+		sendErr := n.send(req, target)
+		if sendErr != nil {
+			n.logf("send %s to %v: %v", req.Type(), target, sendErr)
+		} else {
+			timer := time.NewTimer(n.attemptTimeout())
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, txAborted
+			case <-n.closed:
+				timer.Stop()
+				return nil, txAborted
+			case reply := <-replies:
+				timer.Stop()
+				if attempt == 1 {
+					n.observeRTT(time.Since(sentAt))
+				}
+				return reply, txReply
+			case <-timer.C:
+			}
+		}
+		if attempt >= n.cfg.MaxProbeAttempts {
+			return nil, txTimeout
+		}
+		n.stats.retries.Add(1)
+		if qs != nil {
+			qs.Retries++
+		}
+		if !n.sleep(ctx, backoff) {
+			return nil, txAborted
+		}
+		backoff = min(2*backoff, n.cfg.RetryBackoffMax)
+	}
+}
+
+// sleep pauses for d, aborting early on ctx cancellation or node
+// close; it reports whether the full pause elapsed.
+func (n *Node) sleep(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-n.closed:
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// attemptTimeout returns the per-transmission reply deadline: the
+// configured ProbeTimeout, or with AdaptiveTimeout an RTO from the RTT
+// EWMA (srtt + 4*rttvar) clamped to [ProbeTimeout/8, 2*ProbeTimeout].
+func (n *Node) attemptTimeout() time.Duration {
+	if !n.cfg.AdaptiveTimeout {
+		return n.cfg.ProbeTimeout
+	}
+	n.mu.Lock()
+	srtt, rttvar := n.srtt, n.rttvar
+	n.mu.Unlock()
+	if srtt == 0 {
+		return n.cfg.ProbeTimeout
+	}
+	rto := time.Duration((srtt + 4*rttvar) * float64(time.Second))
+	if lo := n.cfg.ProbeTimeout / 8; rto < lo {
+		return lo
+	}
+	if hi := 2 * n.cfg.ProbeTimeout; rto > hi {
+		return hi
+	}
+	return rto
+}
+
+// observeRTT feeds one unambiguous RTT sample into the Jacobson/Karels
+// estimator behind adaptive timeouts.
+func (n *Node) observeRTT(rtt time.Duration) {
+	s := rtt.Seconds()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srtt == 0 {
+		n.srtt, n.rttvar = s, s/2
+		return
+	}
+	n.rttvar = 0.75*n.rttvar + 0.25*math.Abs(n.srtt-s)
+	n.srtt = 0.875*n.srtt + 0.125*s
+}
+
+// evictDead removes a peer that exhausted every probe attempt.
+func (n *Node) evictDead(id cache.PeerID) {
+	n.mu.Lock()
+	n.link.Remove(id)
+	delete(n.busyUntil, id)
+	delete(n.busyStreak, id)
+	n.mu.Unlock()
+	n.stats.deadEvictions.Add(1)
+}
+
+// suppressedLocked reports whether a peer is currently demoted by Busy
+// backoff, clearing expired deadlines; callers hold n.mu.
+func (n *Node) suppressedLocked(id cache.PeerID) bool {
+	until, ok := n.busyUntil[id]
+	if !ok {
+		return false
+	}
+	if time.Now().Before(until) {
+		return true
+	}
+	delete(n.busyUntil, id)
+	return false
+}
+
+// demoteBusy applies Busy-aware demotion: with BusyBackoff disabled
+// the overloaded peer is dropped from the cache (the simulator's
+// no-backoff default); otherwise it is suppressed with exponential
+// backoff and evicted only after BusyEvictAfter consecutive refusals.
+func (n *Node) demoteBusy(id cache.PeerID) {
+	if n.cfg.BusyBackoff <= 0 {
+		n.mu.Lock()
+		n.link.Remove(id)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	n.busyStreak[id]++
+	streak := n.busyStreak[id]
+	if streak >= n.cfg.BusyEvictAfter {
+		n.link.Remove(id)
+		delete(n.busyUntil, id)
+		delete(n.busyStreak, id)
+		n.mu.Unlock()
+		return
+	}
+	d := n.cfg.BusyBackoff << (streak - 1)
+	if d > n.cfg.BusyBackoffMax {
+		d = n.cfg.BusyBackoffMax
+	}
+	n.busyUntil[id] = time.Now().Add(d)
+	n.mu.Unlock()
+	n.stats.busyBackoffs.Add(1)
 }
 
 // Query runs a GUESS search: it serially probes peers from the link
@@ -137,6 +300,12 @@ func (n *Node) Query(ctx context.Context, keyword string, desired int) ([]Hit, Q
 		}
 		n.mu.Lock()
 		entry, ok := sel.Next()
+		// Busy-demoted peers sit out the query instead of wasting a
+		// probe on another refusal.
+		for ok && n.suppressedLocked(entry.Addr) {
+			qc.Consume(entry.Addr)
+			entry, ok = sel.Next()
+		}
 		var target netip.AddrPort
 		if ok {
 			qc.Consume(entry.Addr)
@@ -155,125 +324,102 @@ func (n *Node) Query(ctx context.Context, keyword string, desired int) ([]Hit, Q
 	return hits, stats, nil
 }
 
-// probe sends one query probe and processes the reply.
+// probe runs one query probe (with retries) and processes the reply.
 func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID,
 	keyword string, want int, stats *QueryStats,
 	sel *policy.Selector, qc *cache.QueryCache) []Hit {
 
-	msgID := n.msgID.Add(1)
-	replies, cancel := n.await(msgID)
-	defer cancel()
-
 	stats.Probes++
 	q := &wire.Query{
-		MsgID:    msgID,
+		MsgID:    n.msgID.Add(1),
 		Desired:  uint8(want),
 		NumFiles: uint32(len(n.cfg.Files)),
 		Keyword:  keyword,
 	}
-	if err := n.send(q, target); err != nil {
-		n.logf("query %v: %v", target, err)
+	reply, outcome := n.transact(ctx, q, target, stats)
+	switch outcome {
+	case txAborted:
+		return nil
+	case txTimeout:
+		// Every attempt unanswered: presumed dead, evicted per the
+		// protocol.
 		stats.Dead++
+		n.evictDead(id)
 		return nil
 	}
 
-	timer := time.NewTimer(n.cfg.ProbeTimeout)
-	defer timer.Stop()
-	select {
-	case <-ctx.Done():
+	switch m := reply.(type) {
+	case *wire.Busy:
+		stats.Refused++
+		n.demoteBusy(id)
 		return nil
-	case <-n.closed:
-		return nil
-	case <-timer.C:
-		// Timeout: presumed dead, evicted per the protocol.
-		stats.Dead++
+	case *wire.QueryHit:
+		stats.Good++
 		n.mu.Lock()
-		n.link.Remove(id)
-		n.mu.Unlock()
-		n.stats.deadEvictions.Add(1)
-		return nil
-	case msg := <-replies:
-		switch m := msg.(type) {
-		case *wire.Busy:
-			// Refused: treat like the simulator's no-backoff default —
-			// drop the overloaded peer from the cache.
-			stats.Refused++
-			n.mu.Lock()
-			n.link.Remove(id)
-			n.mu.Unlock()
-			return nil
-		case *wire.QueryHit:
-			stats.Good++
-			n.mu.Lock()
-			n.link.Touch(id, n.now())
-			n.link.SetNumRes(id, int32(len(m.Results)))
-			// Grow the query cache and the link cache from the
-			// piggy-backed pong.
-			self := n.Addr()
-			for _, pe := range m.Pong {
-				if pe.Addr == self || !pe.Addr.IsValid() {
-					continue
-				}
-				peID := n.idFor(pe.Addr)
-				entry := cache.Entry{
-					Addr:     peID,
-					TS:       n.now(),
-					NumFiles: int32(clampFiles(pe.NumFiles)),
-					NumRes:   int32(pe.NumRes),
-					Direct:   false,
-				}
-				if qc.Add(entry) {
-					sel.Add(entry)
-				}
-				policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, entry)
+		n.link.Touch(id, n.now())
+		n.link.SetNumRes(id, int32(len(m.Results)))
+		delete(n.busyStreak, id)
+		// Grow the query cache and the link cache from the
+		// piggy-backed pong.
+		self := n.Addr()
+		for _, pe := range m.Pong {
+			if pe.Addr == self || !pe.Addr.IsValid() {
+				continue
 			}
-			n.mu.Unlock()
-			hits := make([]Hit, 0, len(m.Results))
-			for _, name := range m.Results {
-				hits = append(hits, Hit{From: target, Name: name})
+			peID := n.idFor(pe.Addr)
+			entry := cache.Entry{
+				Addr:     peID,
+				TS:       n.now(),
+				NumFiles: int32(clampFiles(pe.NumFiles)),
+				NumRes:   int32(pe.NumRes),
+				Direct:   false,
 			}
-			return hits
-		default:
-			return nil
+			if qc.Add(entry) {
+				sel.Add(entry)
+			}
+			policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, entry)
 		}
+		n.mu.Unlock()
+		hits := make([]Hit, 0, len(m.Results))
+		for _, name := range m.Results {
+			hits = append(hits, Hit{From: target, Name: name})
+		}
+		return hits
+	default:
+		return nil
 	}
 }
 
-// PingPeer sends one explicit ping (bootstrap helper) and reports
-// whether the peer answered within the probe timeout.
+// PingPeer sends one explicit ping (bootstrap helper, with the same
+// retry schedule as other probes) and reports whether the peer
+// answered.
 func (n *Node) PingPeer(ctx context.Context, target netip.AddrPort) (bool, error) {
 	select {
 	case <-n.closed:
 		return false, errClosed
 	default:
 	}
-	msgID := n.msgID.Add(1)
-	replies, cancel := n.await(msgID)
-	defer cancel()
 	n.stats.pingsSent.Add(1)
-	if err := n.send(&wire.Ping{MsgID: msgID, NumFiles: uint32(len(n.cfg.Files))}, target); err != nil {
-		return false, err
-	}
-	timer := time.NewTimer(n.cfg.ProbeTimeout)
-	defer timer.Stop()
-	select {
-	case <-ctx.Done():
-		return false, ctx.Err()
-	case <-n.closed:
-		return false, errClosed
-	case <-timer.C:
-		return false, nil
-	case msg := <-replies:
-		pong, ok := msg.(*wire.Pong)
-		if !ok {
-			return false, nil
+	ping := &wire.Ping{MsgID: n.msgID.Add(1), NumFiles: uint32(len(n.cfg.Files))}
+	reply, outcome := n.transact(ctx, ping, target, nil)
+	switch outcome {
+	case txAborted:
+		if err := ctx.Err(); err != nil {
+			return false, err
 		}
-		n.stats.pongsReceived.Add(1)
-		n.mu.Lock()
-		id := n.idFor(target)
-		n.link.Touch(id, n.now())
-		n.absorbPong(pong.Entries)
-		n.mu.Unlock()
-		return true, nil
+		return false, errClosed
+	case txTimeout:
+		return false, nil
 	}
+	pong, ok := reply.(*wire.Pong)
+	if !ok {
+		return false, nil
+	}
+	n.stats.pongsReceived.Add(1)
+	n.mu.Lock()
+	id := n.idFor(target)
+	n.link.Touch(id, n.now())
+	n.absorbPong(pong.Entries)
+	n.mu.Unlock()
+	return true, nil
 }

@@ -1,20 +1,90 @@
 // Package memnet provides an in-memory packet network implementing
 // net.PacketConn, for testing live GUESS nodes without real sockets.
-// It supports configurable packet loss and delivery latency, making
-// protocol robustness (dead-peer detection, probe timeouts, busy
-// refusals) testable deterministically and without binding ports.
+//
+// Beyond basic delivery it is a scriptable network-condition simulator:
+// every directed link (src→dst pair) can carry its own fault profile —
+// loss probability, duplication, reordering, jitter drawn from seeded
+// distributions, MTU-style truncation, and one-way blocking — so
+// protocol robustness (dead-peer detection, retry/backoff, busy
+// refusals, partition healing) is testable deterministically and
+// without binding ports.
+//
+// Determinism: each directed link draws its fault decisions from its
+// own RNG stream derived from the network seed and the link's
+// addresses. A link's decision sequence therefore depends only on the
+// order of packets sent over that link, not on goroutine interleaving
+// across links, so chaos scenarios replay identically for identical
+// seeds.
 package memnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/simrng"
 )
+
+// LinkProfile describes the fault model for packets traversing one
+// directed link (or, as the default profile, any link without an
+// override). The zero value is a perfect link.
+type LinkProfile struct {
+	// Loss is the probability a packet is silently dropped.
+	Loss float64
+	// Latency is the base one-way delivery delay.
+	Latency time.Duration
+	// Jitter, when non-nil, samples extra per-packet delay in seconds
+	// from the link's deterministic stream (negative samples clamp to
+	// zero).
+	Jitter dist.Sampler
+	// DupProb is the probability a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a packet is held back by
+	// ReorderDelay, letting packets sent after it overtake it.
+	ReorderProb float64
+	// ReorderDelay is the hold-back applied to reordered packets; when
+	// zero, 4*Latency + 1ms is used.
+	ReorderDelay time.Duration
+	// MTU, when positive, truncates larger packets to MTU bytes,
+	// modeling a link that mangles oversized datagrams.
+	MTU int
+	// Blocked drops every packet: a one-way partition that heals when
+	// cleared.
+	Blocked bool
+}
+
+// Stats counts packet fates across the whole network. Drop causes are
+// disjoint per enqueued copy:
+//
+//	Sent + Duplicated == Delivered + Dropped + Blocked + QueueDrop
+type Stats struct {
+	// Sent counts packets entering the network (one per WriteTo).
+	Sent int64
+	// Delivered counts copies enqueued at their destination.
+	Delivered int64
+	// Dropped counts packets lost to the Loss probability.
+	Dropped int64
+	// Duplicated counts extra copies created by DupProb.
+	Duplicated int64
+	// Reordered counts packets held back by ReorderProb.
+	Reordered int64
+	// Truncated counts packets cut down to the link MTU.
+	Truncated int64
+	// Blocked counts packets dropped by blocked links, isolated or
+	// missing endpoints.
+	Blocked int64
+	// QueueDrop counts copies dropped at a full or closed destination
+	// queue (like a real NIC).
+	QueueDrop int64
+}
+
+type linkKey struct{ from, to netip.AddrPort }
 
 // Network is a switchboard connecting in-memory endpoints. Create with
 // New, then Listen endpoints on it.
@@ -24,33 +94,129 @@ type Network struct {
 	nextPort  uint16
 	rng       *simrng.RNG
 
-	// loss is the probability a packet is silently dropped.
-	loss float64
-	// latency delays every delivery.
-	latency time.Duration
+	// def applies to links without an override in links.
+	def      LinkProfile
+	links    map[linkKey]LinkProfile
+	rngs     map[linkKey]*simrng.RNG
+	isolated map[netip.AddrPort]bool
+
+	stats struct {
+		sent, delivered, dropped, duplicated atomic.Int64
+		reordered, truncated, blocked        atomic.Int64
+		queueDrop                            atomic.Int64
+	}
+	// inFlight counts copies scheduled (possibly on a delay timer) but
+	// not yet enqueued or dropped; WaitIdle polls it.
+	inFlight atomic.Int64
 }
 
-// New creates an empty network. seed drives loss decisions.
+// New creates an empty network. seed drives every fault decision.
 func New(seed uint64) *Network {
 	return &Network{
 		endpoints: make(map[netip.AddrPort]*Conn),
 		nextPort:  10000,
 		rng:       simrng.New(seed),
+		links:     make(map[linkKey]LinkProfile),
+		rngs:      make(map[linkKey]*simrng.RNG),
+		isolated:  make(map[netip.AddrPort]bool),
 	}
 }
 
-// SetLoss sets the packet drop probability (0 = reliable).
+// SetLoss sets the default packet drop probability (0 = reliable).
 func (n *Network) SetLoss(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.loss = p
+	n.def.Loss = p
 }
 
-// SetLatency sets a fixed one-way delivery delay.
+// SetLatency sets the default fixed one-way delivery delay.
 func (n *Network) SetLatency(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.latency = d
+	n.def.Latency = d
+}
+
+// SetDefaultProfile replaces the profile applied to links without an
+// override.
+func (n *Network) SetDefaultProfile(p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = p
+}
+
+// SetLink overrides the profile for the directed link from→to.
+func (n *Network) SetLink(from, to netip.AddrPort, p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = p
+}
+
+// ClearLink removes a directed link override, restoring the default
+// profile.
+func (n *Network) ClearLink(from, to netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, linkKey{from, to})
+}
+
+// Block installs a one-way partition on from→to (other profile fields
+// of an existing override are preserved; absent one, the default
+// profile's faults still apply when the link is later unblocked).
+func (n *Network) Block(from, to netip.AddrPort) { n.setBlocked(from, to, true) }
+
+// Unblock heals a one-way partition installed by Block.
+func (n *Network) Unblock(from, to netip.AddrPort) { n.setBlocked(from, to, false) }
+
+func (n *Network) setBlocked(from, to netip.AddrPort, blocked bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey{from, to}
+	p, ok := n.links[k]
+	if !ok {
+		p = n.def
+	}
+	p.Blocked = blocked
+	n.links[k] = p
+}
+
+// Isolate cuts an endpoint off in both directions without closing it:
+// packets to and from it vanish until Heal. Unlike Partition the
+// endpoint stays registered, modeling a transient full partition.
+func (n *Network) Isolate(addr netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[addr] = true
+}
+
+// Heal reverses Isolate.
+func (n *Network) Heal(addr netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, addr)
+}
+
+// Partition removes an endpoint from the network without closing it:
+// packets to it vanish and packets from it go nowhere, simulating a
+// peer behind a permanently dead link. Use Isolate/Heal for partitions
+// that recover.
+func (n *Network) Partition(addr netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// Stats returns a snapshot of the network's packet accounting.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:       n.stats.sent.Load(),
+		Delivered:  n.stats.delivered.Load(),
+		Dropped:    n.stats.dropped.Load(),
+		Duplicated: n.stats.duplicated.Load(),
+		Reordered:  n.stats.reordered.Load(),
+		Truncated:  n.stats.truncated.Load(),
+		Blocked:    n.stats.blocked.Load(),
+		QueueDrop:  n.stats.queueDrop.Load(),
+	}
 }
 
 // Listen creates an endpoint with a fresh address on the network.
@@ -69,38 +235,114 @@ func (n *Network) Listen() *Conn {
 	return c
 }
 
-// Partition removes an endpoint from the network without closing it:
-// packets to it vanish and packets from it go nowhere, simulating a
-// peer behind a dead link.
-func (n *Network) Partition(addr netip.AddrPort) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.endpoints, addr)
+// profileLocked resolves the effective profile for from→to; callers
+// hold n.mu.
+func (n *Network) profileLocked(from, to netip.AddrPort) LinkProfile {
+	if p, ok := n.links[linkKey{from, to}]; ok {
+		return p
+	}
+	return n.def
 }
 
-// deliver routes a packet, applying loss and latency.
+// rngLocked returns the deterministic decision stream for from→to,
+// derived lazily from the network seed; callers hold n.mu.
+func (n *Network) rngLocked(from, to netip.AddrPort) *simrng.RNG {
+	k := linkKey{from, to}
+	if r, ok := n.rngs[k]; ok {
+		return r
+	}
+	r := n.rng.Stream("link:" + from.String() + ">" + to.String())
+	n.rngs[k] = r
+	return r
+}
+
+// deliver routes a packet, applying the link's fault profile.
 func (n *Network) deliver(from, to netip.AddrPort, data []byte) {
+	n.stats.sent.Add(1)
 	n.mu.Lock()
 	dst, ok := n.endpoints[to]
-	drop := n.loss > 0 && n.rng.Bool(n.loss)
-	latency := n.latency
-	n.mu.Unlock()
-	if !ok || drop {
+	if !ok || n.isolated[from] || n.isolated[to] {
+		n.mu.Unlock()
+		n.stats.blocked.Add(1)
 		return
 	}
-	cp := append([]byte(nil), data...)
-	send := func() {
-		select {
-		case dst.queue <- packet{from: from, data: cp}:
-		case <-dst.done:
-		default: // queue full: drop, like a real NIC
+	p := n.profileLocked(from, to)
+	if p.Blocked {
+		n.mu.Unlock()
+		n.stats.blocked.Add(1)
+		return
+	}
+	r := n.rngLocked(from, to)
+	if p.Loss > 0 && r.Bool(p.Loss) {
+		n.mu.Unlock()
+		n.stats.dropped.Add(1)
+		return
+	}
+	copies := 1
+	if p.DupProb > 0 && r.Bool(p.DupProb) {
+		copies = 2
+		n.stats.duplicated.Add(1)
+	}
+	delay := p.Latency
+	if p.Jitter != nil {
+		if j := p.Jitter.Sample(r); j > 0 {
+			delay += time.Duration(j * float64(time.Second))
 		}
 	}
-	if latency > 0 {
-		time.AfterFunc(latency, send)
-		return
+	if p.ReorderProb > 0 && r.Bool(p.ReorderProb) {
+		hold := p.ReorderDelay
+		if hold <= 0 {
+			hold = 4*p.Latency + time.Millisecond
+		}
+		delay += hold
+		n.stats.reordered.Add(1)
 	}
-	send()
+	if p.MTU > 0 && len(data) > p.MTU {
+		data = data[:p.MTU]
+		n.stats.truncated.Add(1)
+	}
+	n.mu.Unlock()
+
+	cp := append([]byte(nil), data...)
+	send := func() {
+		defer n.inFlight.Add(-1)
+		select {
+		case <-dst.done:
+			n.stats.queueDrop.Add(1)
+			return
+		default:
+		}
+		select {
+		case dst.queue <- packet{from: from, data: cp}:
+			n.stats.delivered.Add(1)
+		default: // queue full: drop, like a real NIC
+			n.stats.queueDrop.Add(1)
+		}
+	}
+	n.inFlight.Add(int64(copies))
+	for i := 0; i < copies; i++ {
+		if delay > 0 {
+			time.AfterFunc(delay, send)
+		} else {
+			send()
+		}
+	}
+}
+
+// WaitIdle blocks until no scheduled copies remain in flight (all
+// delayed deliveries have landed or been dropped), so Stats snapshots
+// are exact, or until timeout elapses; it reports whether the network
+// went idle. New traffic started while waiting resets the clock only
+// in the sense that it must also land.
+func (n *Network) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.inFlight.Load() == 0 {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n.inFlight.Load() == 0
 }
 
 type packet struct {
@@ -177,8 +419,13 @@ func (c *Conn) Close() error {
 // LocalAddr implements net.PacketConn.
 func (c *Conn) LocalAddr() net.Addr { return net.UDPAddrFromAddrPort(c.addr) }
 
-// SetDeadline implements net.PacketConn (read side only; writes never
-// block).
+// AddrPort returns the endpoint's address in netip form (convenience
+// for configuring link profiles before a node starts).
+func (c *Conn) AddrPort() netip.AddrPort { return c.addr }
+
+// SetDeadline implements net.PacketConn. Only the read side has
+// meaning here (writes complete instantly and never block), so it
+// applies t as the read deadline.
 func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
 
 // SetReadDeadline implements net.PacketConn.
@@ -189,8 +436,21 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 	return nil
 }
 
-// SetWriteDeadline implements net.PacketConn; writes are instantaneous.
-func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+// ErrWriteDeadlineUnsupported reports that memnet writes cannot carry
+// a deadline: WriteTo enqueues synchronously and never blocks, so a
+// write deadline could never fire and silently accepting one would be
+// misleading.
+var ErrWriteDeadlineUnsupported = errors.New("memnet: write deadlines not supported")
+
+// SetWriteDeadline implements net.PacketConn. Clearing the deadline
+// (the zero time) succeeds; setting one returns
+// ErrWriteDeadlineUnsupported because writes complete instantly.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if t.IsZero() {
+		return nil
+	}
+	return ErrWriteDeadlineUnsupported
+}
 
 func toAddrPort(addr net.Addr) (netip.AddrPort, error) {
 	switch a := addr.(type) {

@@ -39,8 +39,37 @@ type Config struct {
 	// PingInterval is the cache-maintenance period.
 	PingInterval time.Duration
 	// ProbeTimeout is how long a probe waits for a reply before the
-	// target is presumed dead (the GUESS spec's 0.2 s pacing).
+	// attempt is abandoned (the GUESS spec's 0.2 s pacing). With
+	// AdaptiveTimeout it is the initial value and the anchor of the
+	// clamp range.
 	ProbeTimeout time.Duration
+	// MaxProbeAttempts is how many times one probe (ping or query) is
+	// transmitted before its target is presumed dead: 1 is the
+	// single-shot baseline; larger values retry with exponential
+	// backoff between attempts. Default 3.
+	MaxProbeAttempts int
+	// RetryBackoff is the pause before the first retransmission; it
+	// doubles with each further attempt, capped at RetryBackoffMax.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential retry backoff.
+	RetryBackoffMax time.Duration
+	// AdaptiveTimeout, when true, replaces the fixed per-attempt
+	// deadline with one derived from an EWMA of observed RTTs
+	// (Jacobson/Karels: srtt + 4*rttvar), clamped to
+	// [ProbeTimeout/8, 2*ProbeTimeout].
+	AdaptiveTimeout bool
+	// BusyBackoff, when positive, demotes a peer answering Busy
+	// instead of evicting it: the peer is suppressed from probing for
+	// BusyBackoff, doubling with each consecutive Busy up to
+	// BusyBackoffMax, and evicted only after BusyEvictAfter
+	// consecutive refusals. Zero keeps the paper's no-backoff default:
+	// evict on the first Busy.
+	BusyBackoff time.Duration
+	// BusyBackoffMax caps the exponential Busy suppression.
+	BusyBackoffMax time.Duration
+	// BusyEvictAfter is the consecutive-Busy count that evicts a
+	// demoted peer (only meaningful when BusyBackoff > 0). Default 3.
+	BusyEvictAfter int
 	// PongSize is the number of addresses per pong.
 	PongSize int
 	// IntroProb is the introduction-protocol probability.
@@ -65,6 +94,11 @@ func Default() Config {
 		CacheSize:        100,
 		PingInterval:     30 * time.Second,
 		ProbeTimeout:     200 * time.Millisecond,
+		MaxProbeAttempts: 3,
+		RetryBackoff:     50 * time.Millisecond,
+		RetryBackoffMax:  time.Second,
+		BusyBackoffMax:   5 * time.Second,
+		BusyEvictAfter:   3,
 		PongSize:         5,
 		IntroProb:        0.1,
 		QueryProbe:       policy.SelRandom,
@@ -87,6 +121,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout == 0 {
 		c.ProbeTimeout = d.ProbeTimeout
+	}
+	if c.MaxProbeAttempts == 0 {
+		c.MaxProbeAttempts = d.MaxProbeAttempts
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = d.RetryBackoff
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = d.RetryBackoffMax
+	}
+	if c.BusyBackoffMax == 0 {
+		c.BusyBackoffMax = d.BusyBackoffMax
+	}
+	if c.BusyEvictAfter == 0 {
+		c.BusyEvictAfter = d.BusyEvictAfter
 	}
 	if c.PongSize == 0 {
 		c.PongSize = d.PongSize
@@ -124,6 +173,18 @@ func (c Config) validate() error {
 		return fmt.Errorf("node: PingInterval must be positive")
 	case c.ProbeTimeout <= 0:
 		return fmt.Errorf("node: ProbeTimeout must be positive")
+	case c.MaxProbeAttempts < 1 || c.MaxProbeAttempts > 16:
+		return fmt.Errorf("node: MaxProbeAttempts %d outside [1,16]", c.MaxProbeAttempts)
+	case c.RetryBackoff <= 0:
+		return fmt.Errorf("node: RetryBackoff must be positive")
+	case c.RetryBackoffMax < c.RetryBackoff:
+		return fmt.Errorf("node: RetryBackoffMax %v below RetryBackoff %v", c.RetryBackoffMax, c.RetryBackoff)
+	case c.BusyBackoff < 0:
+		return fmt.Errorf("node: BusyBackoff must be non-negative")
+	case c.BusyBackoff > 0 && c.BusyBackoffMax < c.BusyBackoff:
+		return fmt.Errorf("node: BusyBackoffMax %v below BusyBackoff %v", c.BusyBackoffMax, c.BusyBackoff)
+	case c.BusyEvictAfter < 1:
+		return fmt.Errorf("node: BusyEvictAfter must be >= 1")
 	case c.PongSize < 0 || c.PongSize > wire.MaxPongEntries:
 		return fmt.Errorf("node: PongSize %d outside [0, %d]", c.PongSize, wire.MaxPongEntries)
 	case c.IntroProb < 0 || c.IntroProb > 1:
@@ -143,6 +204,17 @@ type Stats struct {
 	ProbesRefused                int64
 	DeadEvictions                int64
 	MalformedDropped             int64
+	// Retries counts probe retransmissions (attempts beyond the first).
+	Retries int64
+	// BusyBackoffs counts Busy replies absorbed by demotion instead of
+	// eviction (only with BusyBackoff > 0).
+	BusyBackoffs int64
+	// LateReplies counts replies that arrived after their probe had
+	// already timed out or completed (or were never solicited).
+	LateReplies int64
+	// DupReplies counts redundant copies of a reply already consumed
+	// by its probe (duplicating networks).
+	DupReplies int64
 }
 
 // Hit is one query result.
@@ -154,12 +226,14 @@ type Hit struct {
 }
 
 // QueryStats reports one query's cost, mirroring the simulator's
-// per-query metrics.
+// per-query metrics. Probes counts distinct targets tried; Retries
+// counts extra transmissions beyond each target's first.
 type QueryStats struct {
 	Probes  int
 	Good    int
 	Dead    int
 	Refused int
+	Retries int
 }
 
 // Node is a live GUESS peer. Create with Listen or New; always Close.
@@ -177,6 +251,13 @@ type Node struct {
 	// load window for Busy refusals
 	winStart int64
 	winCount int
+	// RTT estimator for adaptive timeouts (seconds; srtt == 0 means no
+	// sample yet)
+	srtt, rttvar float64
+	// Busy demotion state: suppressed-until deadlines and consecutive
+	// refusal streaks
+	busyUntil  map[cache.PeerID]time.Time
+	busyStreak map[cache.PeerID]int
 
 	pendingMu sync.Mutex
 	pending   map[uint64]chan wire.Message
@@ -189,6 +270,10 @@ type Node struct {
 		probesRefused                atomic.Int64
 		deadEvictions                atomic.Int64
 		malformedDropped             atomic.Int64
+		retries                      atomic.Int64
+		busyBackoffs                 atomic.Int64
+		lateReplies                  atomic.Int64
+		dupReplies                   atomic.Int64
 	}
 
 	closeOnce sync.Once
@@ -223,11 +308,13 @@ func New(conn net.PacketConn, cfg Config) (*Node, error) {
 		start:   time.Now(),
 		rng:     simrng.New(cfg.Seed),
 		link:    cache.NewLinkCache(cfg.CacheSize),
-		ids:     make(map[netip.AddrPort]cache.PeerID),
-		addrs:   make(map[cache.PeerID]netip.AddrPort),
-		next:    1,
-		pending: make(map[uint64]chan wire.Message),
-		closed:  make(chan struct{}),
+		ids:        make(map[netip.AddrPort]cache.PeerID),
+		addrs:      make(map[cache.PeerID]netip.AddrPort),
+		next:       1,
+		busyUntil:  make(map[cache.PeerID]time.Time),
+		busyStreak: make(map[cache.PeerID]int),
+		pending:    make(map[uint64]chan wire.Message),
+		closed:     make(chan struct{}),
 	}
 	n.msgID.Store(cfg.Seed<<32 | 1)
 	n.wg.Add(2)
@@ -262,6 +349,10 @@ func (n *Node) Stats() Stats {
 		ProbesRefused:    n.stats.probesRefused.Load(),
 		DeadEvictions:    n.stats.deadEvictions.Load(),
 		MalformedDropped: n.stats.malformedDropped.Load(),
+		Retries:          n.stats.retries.Load(),
+		BusyBackoffs:     n.stats.busyBackoffs.Load(),
+		LateReplies:      n.stats.lateReplies.Load(),
+		DupReplies:       n.stats.dupReplies.Load(),
 	}
 }
 

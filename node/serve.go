@@ -152,17 +152,22 @@ func (n *Node) pongEntries(sel policy.Selection, recipient netip.AddrPort) []wir
 	return out
 }
 
-// deliver routes a response to the waiting request, if any.
+// deliver routes a response to the waiting request, if any. Replies
+// without a pending probe (timed out, completed, or never solicited)
+// and redundant copies from duplicating networks are counted and
+// dropped so chaos tests can account for every packet.
 func (n *Node) deliver(msg wire.Message) {
 	n.pendingMu.Lock()
 	ch, ok := n.pending[msg.ID()]
 	n.pendingMu.Unlock()
 	if !ok {
-		return // late reply after timeout; drop
+		n.stats.lateReplies.Add(1)
+		return
 	}
 	select {
 	case ch <- msg:
 	default:
+		n.stats.dupReplies.Add(1)
 	}
 }
 
