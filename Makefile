@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos race fuzz-smoke bench experiments-quick experiments-full clean
+.PHONY: all build vet test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json experiments-quick experiments-full clean
 
-all: build vet test fuzz-smoke
+all: build vet test fuzz-smoke bench-smoke
+
+# The packages with hot-path microbenchmarks (b.ReportAllocs); see also
+# the top-level BenchmarkSingleRun in bench_test.go.
+BENCH_PKGS = ./internal/eventq ./internal/cache ./internal/policy ./internal/core
 
 build:
 	$(GO) build ./...
@@ -38,6 +42,24 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of the headline benchmark plus the hot-path
+# microbenchmarks: catches benchmark bit-rot and allocation regressions
+# in seconds, so it rides along in `make all`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+
+# Record a benchmark trajectory point: the headline simulation
+# benchmark and the hot-path microbenchmarks, parsed into
+# BENCH_<date>.json for cross-commit comparison (see README.md,
+# "Profiling and benchmarking").
+bench-json:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 5x . && \
+	  $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS); } \
+	  | tee /dev/stderr | /tmp/benchjson -o BENCH_$$(date +%Y%m%d).json
+	@echo wrote BENCH_$$(date +%Y%m%d).json
 
 # Regenerate every paper table/figure quickly (small networks).
 experiments-quick:

@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// trajectory record, so benchmark history can be diffed and plotted
+// across commits:
+//
+//	go test -run '^$' -bench BenchmarkSingleRun -benchmem . | benchjson -o BENCH_20260805.json
+//
+// The record carries the machine header (goos/goarch/cpu), the git
+// revision when available, and one entry per benchmark with ns/op,
+// B/op, and allocs/op. See "Profiling and benchmarking" in README.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// record is the schema of a BENCH_<date>.json file.
+type record struct {
+	Date     string `json:"date"`
+	Revision string `json:"revision,omitempty"`
+	benchfmt.Header
+	Results []benchfmt.Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	hdr, results, err := benchfmt.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+
+	rec := record{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Header:  hdr,
+		Results: results,
+	}
+	if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		rec.Revision = strings.TrimSpace(string(rev))
+	}
+
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, b, 0o644)
+	}
+	_, err = stdout.Write(b)
+	return err
+}

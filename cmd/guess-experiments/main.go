@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,8 +38,36 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	svgDir := fs.String("svg", "", "also render each figure chart as SVG into this directory")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "guess-experiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so the profile shows live + alloc space accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "guess-experiments: -memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {

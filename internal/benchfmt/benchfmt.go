@@ -1,0 +1,126 @@
+// Package benchfmt parses the standard `go test -bench` text output
+// into structured records so benchmark trajectories can be stored as
+// JSON and compared across commits (see `make bench-json`).
+//
+// The format parsed is the de-facto Go benchmark line protocol:
+//
+//	BenchmarkName-8   	     100	  11100051 ns/op	 4801 B/op	 93 allocs/op
+//
+// plus the `goos:`/`goarch:`/`pkg:`/`cpu:` header lines emitted before
+// each package's benchmarks. Unknown value/unit pairs (custom metrics
+// from b.ReportMetric, MB/s, ...) are preserved under Extra.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (e.g. "BenchmarkSingleRun" or "BenchmarkInsert/LFS").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 when absent.
+	Procs int `json:"procs"`
+	// Pkg is the import path from the preceding "pkg:" header line.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard metrics; a
+	// metric the line does not report is zero (B/op and allocs/op
+	// appear only under -benchmem or b.ReportAllocs).
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds any further unit -> value pairs on the line.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Header carries the environment lines `go test` prints before the
+// first benchmark of a binary.
+type Header struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns the header and every
+// benchmark result, in input order. Non-benchmark lines (PASS, ok,
+// test log output) are skipped. A line starting with "Benchmark" that
+// does not parse is an error: silently dropping it would make a
+// truncated trajectory look like a clean run.
+func Parse(r io.Reader) (Header, []Result, error) {
+	var hdr Header
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			hdr.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			hdr.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			hdr.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return hdr, nil, fmt.Errorf("benchfmt: %w", err)
+			}
+			res.Pkg = pkg
+			results = append(results, res)
+		}
+	}
+	return hdr, results, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-N  iters  v unit  v unit ..." line.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	res := Result{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(fields[0], "-"); i >= 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil && p > 0 {
+			res.Name, res.Procs = fields[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	res.Iterations = iters
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		val, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad value %q in %q: %w", rest[i], line, err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		default:
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[unit] = val
+		}
+	}
+	return res, nil
+}

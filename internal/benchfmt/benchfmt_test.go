@@ -1,0 +1,101 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSingleRun-8   	       9	 128562358 ns/op	 7207304 B/op	    6326 allocs/op
+BenchmarkTable3LiveEntries-8	       1	2026706169 ns/op	        11.00 rows
+PASS
+ok  	repro	3.456s
+goos: linux
+goarch: amd64
+pkg: repro/internal/policy
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScratchPickN/Random-8         	11083401	       107.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/policy	1.234s
+`
+
+func TestParseSample(t *testing.T) {
+	hdr, results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Goos != "linux" || hdr.Goarch != "amd64" || !strings.Contains(hdr.CPU, "Xeon") {
+		t.Fatalf("bad header: %+v", hdr)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+
+	r := results[0]
+	if r.Name != "BenchmarkSingleRun" || r.Procs != 8 || r.Pkg != "repro" {
+		t.Fatalf("bad identity: %+v", r)
+	}
+	if r.Iterations != 9 || r.NsPerOp != 128562358 || r.BytesPerOp != 7207304 || r.AllocsPerOp != 6326 {
+		t.Fatalf("bad metrics: %+v", r)
+	}
+
+	if got := results[1].Extra["rows"]; got != 11 {
+		t.Fatalf("custom metric rows = %v, want 11", got)
+	}
+
+	r = results[2]
+	if r.Name != "BenchmarkScratchPickN/Random" || r.Pkg != "repro/internal/policy" {
+		t.Fatalf("bad sub-benchmark identity: %+v", r)
+	}
+	if r.NsPerOp != 107.0 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("bad sub-benchmark metrics: %+v", r)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX",                 // no iteration count
+		"BenchmarkX abc 5 ns/op",     // bad count
+		"BenchmarkX-4 10 5 ns/op 3",  // dangling value
+		"BenchmarkX-4 10 fast ns/op", // non-numeric value
+	} {
+		if _, _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Fatalf("Parse accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	noise := "=== RUN TestFoo\n--- PASS: TestFoo\nPASS\nok \trepro\t0.1s\n"
+	_, results, err := Parse(strings.NewReader(noise))
+	if err != nil || len(results) != 0 {
+		t.Fatalf("Parse(noise) = %v results, err %v", len(results), err)
+	}
+}
+
+// TestResultJSONRoundTrip pins the JSON field names the trajectory
+// files use; renaming them would orphan historical BENCH_*.json data.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := Result{Name: "BenchmarkX", Procs: 4, Pkg: "p", Iterations: 10,
+		NsPerOp: 1.5, BytesPerOp: 64, AllocsPerOp: 2, Extra: map[string]float64{"rows": 3}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"name"`, `"ns_per_op"`, `"bytes_per_op"`, `"allocs_per_op"`, `"rows"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("JSON %s missing key %s", b, key)
+		}
+	}
+	var out Result
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.NsPerOp != in.NsPerOp || out.Extra["rows"] != 3 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}

@@ -1,0 +1,59 @@
+package cache
+
+import "testing"
+
+// BenchmarkAddRemoveCycle measures the link-cache mutation mix the
+// engine performs per probe: membership check, add (with eviction
+// pressure), touch, and remove. Steady state should not allocate.
+func BenchmarkAddRemoveCycle(b *testing.B) {
+	c := NewLinkCache(128)
+	for i := 0; i < 128; i++ {
+		c.Add(Entry{Addr: PeerID(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := PeerID(i % 4096)
+		if !c.Has(addr) && !c.Full() {
+			c.Add(Entry{Addr: addr})
+		}
+		c.Touch(addr, float64(i))
+		if i%3 == 0 {
+			c.Remove(PeerID((i * 7) % 4096))
+		}
+		if c.Len() < 100 {
+			c.Add(Entry{Addr: PeerID(i%4096 + 5000)})
+		}
+	}
+}
+
+// BenchmarkAppendEntries measures snapshotting a full cache into a
+// caller-owned reused buffer (the engine's pong-building pattern).
+func BenchmarkAppendEntries(b *testing.B) {
+	c := NewLinkCache(128)
+	for i := 0; i < 128; i++ {
+		c.Add(Entry{Addr: PeerID(i)})
+	}
+	var buf []Entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendEntries(buf[:0])
+		if len(buf) != 128 {
+			b.Fatal("short snapshot")
+		}
+	}
+}
+
+// BenchmarkReplaceAt measures the eviction write path.
+func BenchmarkReplaceAt(b *testing.B) {
+	c := NewLinkCache(128)
+	for i := 0; i < 128; i++ {
+		c.Add(Entry{Addr: PeerID(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ReplaceAt(i%128, Entry{Addr: PeerID(10000 + i)})
+	}
+}

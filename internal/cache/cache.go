@@ -83,10 +83,25 @@ func (c *LinkCache) Get(addr PeerID) (Entry, bool) {
 	return c.entries[i], true
 }
 
-// Entries exposes the cache's backing slice for policy scans. Callers
-// must not grow or reorder it; mutating fields in place (e.g. TS
-// updates) is allowed and is how Touch and SetNumRes work.
+// Entries exposes the cache's backing slice for policy scans.
+//
+// Aliasing contract: the returned slice IS the cache's internal
+// storage, not a copy. Callers must not grow or reorder it, and must
+// not retain it across any mutation of the cache (Add, Remove,
+// ReplaceAt, Clear) — the backing array may be reallocated, truncated,
+// or have entries swapped into different slots. Mutating entry fields
+// in place (e.g. TS updates) is allowed and is how Touch and SetNumRes
+// work. Use AppendEntries for a stable snapshot that survives later
+// cache mutations.
 func (c *LinkCache) Entries() []Entry { return c.entries }
+
+// AppendEntries appends a copy of the cache's entries to dst and
+// returns the extended slice, for callers that need a snapshot
+// surviving subsequent cache mutations. Passing dst[:0] reuses dst's
+// storage.
+func (c *LinkCache) AppendEntries(dst []Entry) []Entry {
+	return append(dst, c.entries...)
+}
 
 // Add inserts e if there is room and the address is not already
 // present. It reports whether the entry was inserted. Use ReplaceAt for
@@ -150,6 +165,15 @@ func (c *LinkCache) SetNumRes(addr PeerID, n int32) {
 		c.entries[i].NumRes = n
 		c.entries[i].Direct = true
 	}
+}
+
+// Clear empties the cache while retaining its capacity and allocated
+// storage, so simulators can recycle caches across peer generations
+// (peer churn creates one cache per birth; a cleared cache behaves
+// exactly like a fresh NewLinkCache of the same capacity).
+func (c *LinkCache) Clear() {
+	c.entries = c.entries[:0]
+	clear(c.index)
 }
 
 // checkInvariants panics if the index and the entries slice disagree.

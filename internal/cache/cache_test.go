@@ -220,3 +220,56 @@ func TestQueryCacheConsume(t *testing.T) {
 		t.Fatal("Consume(unknown) changed state")
 	}
 }
+
+func TestAppendEntriesSnapshot(t *testing.T) {
+	c := NewLinkCache(4)
+	for i := 1; i <= 4; i++ {
+		c.Add(Entry{Addr: PeerID(i), NumFiles: int32(i)})
+	}
+	snap := c.AppendEntries(nil)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len %d, want 4", len(snap))
+	}
+	// Unlike Entries(), the snapshot must survive cache mutations.
+	alias := c.Entries()
+	c.Remove(1)
+	c.ReplaceAt(0, Entry{Addr: 9, NumFiles: 99})
+	for i, e := range snap {
+		if e.Addr != PeerID(i+1) || e.NumFiles != int32(i+1) {
+			t.Fatalf("snapshot[%d] mutated: %+v", i, e)
+		}
+	}
+	if alias[0].Addr != 9 {
+		t.Fatalf("Entries() result should alias internal storage, got %+v", alias[0])
+	}
+	// Reusing dst storage appends in place.
+	snap = c.AppendEntries(snap[:0])
+	if len(snap) != 3 {
+		t.Fatalf("reused snapshot len %d, want 3", len(snap))
+	}
+}
+
+func TestClearRetainsCapacityAndEmpties(t *testing.T) {
+	c := NewLinkCache(3)
+	for i := 1; i <= 3; i++ {
+		c.Add(Entry{Addr: PeerID(i)})
+	}
+	c.Clear()
+	c.checkInvariants()
+	if c.Len() != 0 || c.Cap() != 3 || c.Full() {
+		t.Fatalf("cleared cache: len=%d cap=%d full=%v", c.Len(), c.Cap(), c.Full())
+	}
+	if c.Has(1) {
+		t.Fatal("cleared cache still has entry")
+	}
+	// Behaves like a fresh cache afterwards.
+	for i := 4; i <= 6; i++ {
+		if !c.Add(Entry{Addr: PeerID(i)}) {
+			t.Fatalf("add %d after Clear failed", i)
+		}
+	}
+	if !c.Full() {
+		t.Fatal("refilled cache not full")
+	}
+	c.checkInvariants()
+}

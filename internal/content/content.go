@@ -176,13 +176,29 @@ func (u *Universe) SampleLibrarySize(r *simrng.RNG) int {
 // drawn in proportion to item popularity. size is clamped to the
 // universe's maximum.
 func (u *Universe) NewLibrary(r *simrng.RNG, size int) Library {
+	return u.NewLibraryInto(r, size, Library{})
+}
+
+// NewLibraryInto is NewLibrary reusing recycle's storage: the recycled
+// library's item set is emptied and refilled in place, so simulators
+// under churn can recycle dead peers' libraries instead of allocating
+// one per birth. It draws from r exactly as NewLibrary does — the
+// sampling loop depends only on the (emptied) set's contents — so
+// recycling never perturbs a seeded run. recycle must not be in use by
+// any live peer; pass Library{} to allocate fresh.
+func (u *Universe) NewLibraryInto(r *simrng.RNG, size int, recycle Library) Library {
 	if size <= 0 {
 		return Library{}
 	}
 	if size > u.maxLib {
 		size = u.maxLib
 	}
-	items := make(map[ItemID]struct{}, size)
+	items := recycle.items
+	if items == nil {
+		items = make(map[ItemID]struct{}, size)
+	} else {
+		clear(items)
+	}
 	// Popularity-weighted rejection sampling; popular items collide
 	// often for large libraries, so bound the attempts and top up with
 	// uniform unseen items (these late additions are tail items, which

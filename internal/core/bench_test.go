@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// BenchmarkEngineRun measures one short default-policy simulation per
+// iteration — the same unit of work as the top-level BenchmarkSingleRun
+// but small enough for quick allocation tracking with -benchtime=1x.
+func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := quickParams()
+		p.Seed = uint64(i + 1)
+		e, err := New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Queries == 0 {
+			b.Fatal("no queries")
+		}
+	}
+}
+
+// BenchmarkEngineRunScored exercises the scored-policy hot path (top-k
+// selection, LFS eviction) rather than the random-policy default.
+func BenchmarkEngineRunScored(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := quickParams()
+		p.QueryProbe, p.QueryPong = policy.SelMFS, policy.SelMFS
+		p.PingProbe, p.PingPong = policy.SelMRU, policy.SelLRU
+		p.CacheReplacement = policy.EvLFS
+		p.Seed = uint64(i + 1)
+		e, err := New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

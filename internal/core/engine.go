@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/content"
@@ -79,6 +80,32 @@ type Engine struct {
 	// trace state
 	traceHeader bool
 	traceErr    error
+
+	// Reusable hot-path scratch. The simulation's steady state is one
+	// pong build per ping/probe, one query start per burst slot, and one
+	// connectivity sample per SampleInterval; each of these used to
+	// allocate. The scratch below is draw-order-neutral by construction
+	// (buffer reuse only, never a change in how randomness is consumed),
+	// which the golden-trace test locks in.
+	polScratch policy.Scratch // selection scratch for every PickN
+	pongBuf    []cache.Entry  // pong under construction; consumed before the next build
+	badBuf     []*peer        // colluder candidates for BadPongBad pongs
+	wcc        overlay.WCCScratch
+	traceBuf   []byte // one CSV row, rebuilt in place per sample
+
+	// Free lists recycling the per-churn and per-query allocations:
+	// dead peers donate their link cache and library storage to the
+	// next birth, completed queries donate their selector and visited
+	// set to the next query.
+	freeQueries []*query
+	freeCaches  []*cache.LinkCache
+	freeLibs    []content.Library
+
+	// noReuse (tests only) disables every recycling fast path above and
+	// falls back to the allocating reference implementations, so
+	// determinism tests can assert pooled and reference runs are
+	// byte-identical.
+	noReuse bool
 
 	ran bool
 }
@@ -227,7 +254,22 @@ func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
 	id := e.nextID
 	e.nextID++
 	libSize := e.universe.SampleLibrarySize(e.rngContent)
-	lib := e.universe.NewLibrary(e.rngContent, libSize)
+	var lib content.Library
+	if n := len(e.freeLibs); libSize > 0 && n > 0 {
+		lib = e.universe.NewLibraryInto(e.rngContent, libSize, e.freeLibs[n-1])
+		e.freeLibs[n-1] = content.Library{}
+		e.freeLibs = e.freeLibs[:n-1]
+	} else {
+		lib = e.universe.NewLibrary(e.rngContent, libSize)
+	}
+	var link *cache.LinkCache
+	if n := len(e.freeCaches); n > 0 {
+		link = e.freeCaches[n-1]
+		e.freeCaches[n-1] = nil
+		e.freeCaches = e.freeCaches[:n-1]
+	} else {
+		link = cache.NewLinkCache(e.p.CacheSize)
+	}
 	advertised := int32(lib.Size())
 	if malicious {
 		advertised = e.lieFiles
@@ -240,7 +282,7 @@ func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
 		advertisedFiles: advertised,
 		malicious:       malicious,
 		selfish:         selfish,
-		link:            cache.NewLinkCache(e.p.CacheSize),
+		link:            link,
 		aliveIdx:        len(e.alive),
 		winStart:        -1,
 		pingInterval:    e.p.PingInterval,
@@ -287,6 +329,19 @@ func (e *Engine) handleDeath(id cache.PeerID) {
 	e.res.Deaths++
 	if e.now >= e.p.WarmupTime {
 		e.loads = append(e.loads, p.probesReceived)
+	}
+
+	// The dead peer is fully unlinked now; recycle its cache and
+	// library storage for the replacement (nothing reads them again —
+	// see the Entries aliasing audit in cache.LinkCache).
+	if !e.noReuse {
+		p.link.Clear()
+		e.freeCaches = append(e.freeCaches, p.link)
+		p.link = nil
+		if p.lib.Size() > 0 {
+			e.freeLibs = append(e.freeLibs, p.lib)
+			p.lib = content.Library{}
+		}
 	}
 
 	// Birth of the replacement, seeded by the random-friend policy:
@@ -422,8 +477,8 @@ func (e *Engine) handleSample() {
 	if e.p.Trace != nil && e.traceErr == nil {
 		if !e.traceHeader {
 			e.traceHeader = true
-			_, e.traceErr = fmt.Fprintln(e.p.Trace,
-				"time,births,deaths,queries,satisfied,probes,avgHeld,avgLive")
+			_, e.traceErr = e.p.Trace.Write([]byte(
+				"time,births,deaths,queries,satisfied,probes,avgHeld,avgLive\n"))
 		}
 		if e.traceErr == nil {
 			var avgHeld, avgLive float64
@@ -431,28 +486,58 @@ func (e *Engine) handleSample() {
 				avgHeld = held / n
 				avgLive = live / n
 			}
-			_, e.traceErr = fmt.Fprintf(e.p.Trace, "%.0f,%d,%d,%d,%d,%d,%.2f,%.2f\n",
-				e.now, e.res.Births, e.res.Deaths, e.res.Queries,
-				e.res.Satisfied, e.res.ProbesTotal, avgHeld, avgLive)
+			e.traceBuf = e.appendTraceRow(e.traceBuf[:0], avgHeld, avgLive)
+			_, e.traceErr = e.p.Trace.Write(e.traceBuf)
 		}
 	}
 }
 
-// largestWCC snapshots the conceptual overlay and returns its largest
-// weakly connected component.
+// appendTraceRow assembles one CSV trace row into b. It is strconv in
+// a reusable buffer, byte-for-byte what the former
+// Fprintf("%.0f,%d,%d,%d,%d,%d,%.2f,%.2f\n") produced (fmt's float
+// verbs are strconv.AppendFloat underneath), so full-scale run traces
+// cost one Write and no garbage per sample. TestAppendTraceRowMatchesFmt
+// pins the equivalence.
+func (e *Engine) appendTraceRow(b []byte, avgHeld, avgLive float64) []byte {
+	b = strconv.AppendFloat(b, e.now, 'f', 0, 64)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(e.res.Births), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(e.res.Deaths), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(e.res.Queries), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(e.res.Satisfied), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, e.res.ProbesTotal, 10)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, avgHeld, 'f', 2, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, avgLive, 'f', 2, 64)
+	b = append(b, '\n')
+	return b
+}
+
+// largestWCC measures the conceptual overlay's largest weakly
+// connected component directly over the live population: every alive
+// peer already knows its dense index (aliveIdx), so the sample is one
+// union-find pass over the link caches with reusable scratch — no
+// overlay.Builder, no graph materialization, no allocation. Dead-target
+// entries and self-loops are skipped exactly as Builder.AddEdge skips
+// them.
 func (e *Engine) largestWCC() int {
-	b := overlay.NewBuilder(len(e.alive))
-	for _, p := range e.alive {
-		// Alive peers have unique IDs; AddNode cannot fail here.
-		_ = b.AddNode(p.id)
-	}
-	for _, p := range e.alive {
+	e.wcc.Reset(len(e.alive))
+	for i, p := range e.alive {
 		for _, entry := range p.link.Entries() {
-			_ = b.AddEdge(p.id, entry.Addr)
+			if entry.Addr == p.id {
+				continue
+			}
+			if t, ok := e.peers[entry.Addr]; ok {
+				e.wcc.Union(i, t.aliveIdx)
+			}
 		}
 	}
-	g, _ := b.Graph()
-	return g.LargestWCC()
+	return e.wcc.Largest()
 }
 
 // maybeIntroduce applies the introduction protocol: host adds the
@@ -471,6 +556,11 @@ func (e *Engine) maybeIntroduce(host, initiator *peer) {
 
 // buildPong constructs the host's pong under the given selection
 // policy. Malicious hosts return corrupt pongs per BadPongBehavior.
+//
+// The returned slice is the engine's reusable pong buffer: it is valid
+// only until the next buildPong call, and both consumers (acceptPong
+// and probeOne's pong loop) copy entries out before any further pong is
+// built.
 func (e *Engine) buildPong(host *peer, sel policy.Selection) []cache.Entry {
 	if e.p.PongSize <= 0 {
 		return nil
@@ -479,28 +569,38 @@ func (e *Engine) buildPong(host *peer, sel policy.Selection) []cache.Entry {
 		return e.buildBadPong(host)
 	}
 	entries := host.link.Entries()
-	idx := policy.PickN(e.rngPolicy, sel, entries, e.p.PongSize)
-	out := make([]cache.Entry, len(idx))
-	for i, j := range idx {
-		out[i] = entries[j]
+	var idx []int
+	if e.noReuse {
+		idx = policy.PickN(e.rngPolicy, sel, entries, e.p.PongSize)
+	} else {
+		idx = e.polScratch.PickN(e.rngPolicy, sel, entries, e.p.PongSize)
 	}
+	out := e.pongBuf[:0]
+	for _, j := range idx {
+		out = append(out, entries[j])
+	}
+	e.pongBuf = out
 	return out
 }
 
-// buildBadPong fabricates a poisoned pong.
+// buildBadPong fabricates a poisoned pong (into the shared pong
+// buffer, like buildPong).
 func (e *Engine) buildBadPong(host *peer) []cache.Entry {
-	out := make([]cache.Entry, 0, e.p.PongSize)
+	out := e.pongBuf[:0]
+	defer func() { e.pongBuf = out }()
 	switch e.p.BadPong {
 	case BadPongBad:
 		// Colluders advertise each other with maximal credentials.
-		candidates := make([]*peer, 0, len(e.bad))
+		candidates := e.badBuf[:0]
 		for _, b := range e.bad {
 			if b != host {
 				candidates = append(candidates, b)
 			}
 		}
+		e.badBuf = candidates
 		if len(candidates) == 0 {
-			return e.fabricateDead(out)
+			out = e.fabricateDead(out)
+			return out
 		}
 		for i := 0; i < e.p.PongSize; i++ {
 			b := candidates[e.rngPolicy.Intn(len(candidates))]
@@ -514,13 +614,19 @@ func (e *Engine) buildBadPong(host *peer) []cache.Entry {
 		return out
 	case BadPongGood:
 		entries := host.link.Entries()
-		idx := policy.PickN(e.rngPolicy, policy.SelRandom, entries, e.p.PongSize)
+		var idx []int
+		if e.noReuse {
+			idx = policy.PickN(e.rngPolicy, policy.SelRandom, entries, e.p.PongSize)
+		} else {
+			idx = e.polScratch.PickN(e.rngPolicy, policy.SelRandom, entries, e.p.PongSize)
+		}
 		for _, j := range idx {
 			out = append(out, entries[j])
 		}
 		return out
 	default: // BadPongDead
-		return e.fabricateDead(out)
+		out = e.fabricateDead(out)
+		return out
 	}
 }
 

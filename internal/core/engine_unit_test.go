@@ -224,8 +224,9 @@ func TestLargestWCCOnFreshNetwork(t *testing.T) {
 
 func TestQueryAddCandidateDedups(t *testing.T) {
 	q := &query{
-		sel:  policy.NewSelector(policy.SelMFS, nil),
-		seen: make(map[cache.PeerID]struct{}),
+		sel:     policy.NewSelector(policy.SelMFS, nil),
+		seen:    make(map[cache.PeerID]uint64),
+		seenGen: 1,
 	}
 	e := cache.Entry{Addr: 5, NumFiles: 3}
 	if !q.addCandidate(e) {

@@ -6,7 +6,10 @@ import (
 	"repro/internal/policy"
 )
 
-// query is the state of one in-flight search.
+// query is the state of one in-flight search. Completed queries are
+// recycled through the engine's free list (see getQuery/putQuery), so
+// the selector buffers and the visited set are steady-state
+// allocation-free.
 type query struct {
 	origin  cache.PeerID
 	item    content.ItemID
@@ -34,38 +37,79 @@ type query struct {
 	// a candidate. (The full cache.QueryCache bookkeeping is not needed
 	// here — the selector holds the pending entries — and exhaustive
 	// queries make per-candidate memory the simulator's footprint
-	// ceiling.)
-	seen map[cache.PeerID]struct{}
+	// ceiling.) It is generation-stamped rather than cleared: an
+	// address is "seen" iff its stored stamp equals seenGen, so reuse
+	// across pooled queries costs one increment instead of a map clear
+	// or a fresh allocation.
+	seen    map[cache.PeerID]uint64
+	seenGen uint64
 }
+
+// maxRetainedSeen bounds how large a pooled query's visited set may
+// grow before it is cleared on release: generation stamping never
+// removes entries, and under churn the address space is unbounded, so
+// without a cap a long run would accumulate every address ever seen in
+// every pooled map.
+const maxRetainedSeen = 1 << 15
 
 // addCandidate records addr as seen and, if new, feeds the entry to
 // the selector. It reports whether the entry was new.
 func (q *query) addCandidate(e cache.Entry) bool {
-	if _, ok := q.seen[e.Addr]; ok {
+	if q.seen[e.Addr] == q.seenGen {
 		return false
 	}
-	q.seen[e.Addr] = struct{}{}
+	q.seen[e.Addr] = q.seenGen
 	q.sel.Add(e)
 	return true
+}
+
+// getQuery pops a recycled query (or makes a fresh one). The caller
+// must initialize every run-specific field; startQuery does.
+func (e *Engine) getQuery() *query {
+	if n := len(e.freeQueries); n > 0 && !e.noReuse {
+		q := e.freeQueries[n-1]
+		e.freeQueries[n-1] = nil
+		e.freeQueries = e.freeQueries[:n-1]
+		return q
+	}
+	return &query{
+		sel:  policy.NewSelector(e.p.QueryProbe, e.rngPolicy),
+		seen: make(map[cache.PeerID]uint64, 64),
+	}
+}
+
+// putQuery returns a finished query to the free list. Safe because a
+// query has at most one pending evProbeStep at any time, and both
+// release sites run while handling (or before scheduling) that event —
+// so no queued event can still reference q.
+func (e *Engine) putQuery(q *query) {
+	if e.noReuse {
+		return
+	}
+	if len(q.seen) > maxRetainedSeen {
+		clear(q.seen)
+		q.seenGen = 0
+	}
+	e.freeQueries = append(e.freeQueries, q)
 }
 
 // startQuery begins a new query at p: the target item is drawn from the
 // query model, the link cache is snapshotted into the candidate set,
 // and the first probe round fires immediately.
 func (e *Engine) startQuery(p *peer, burstRemaining int) {
-	q := &query{
-		origin:         p.id,
-		item:           e.universe.DrawQuery(e.rngContent),
-		started:        e.now,
-		counted:        e.now >= e.p.WarmupTime,
-		burstRemaining: burstRemaining,
-		k:              e.queryParallelism(p),
-		lastProgress:   e.now,
-		sel:            policy.NewSelector(e.p.QueryProbe, e.rngPolicy),
-		seen:           make(map[cache.PeerID]struct{}, p.link.Len()+1),
-	}
+	q := e.getQuery()
+	q.origin = p.id
+	q.item = e.universe.DrawQuery(e.rngContent)
+	q.started = e.now
+	q.counted = e.now >= e.p.WarmupTime
+	q.burstRemaining = burstRemaining
+	q.results, q.probes, q.good, q.dead, q.refused = 0, 0, 0, 0, 0
+	q.k = e.queryParallelism(p)
+	q.lastProgress = e.now
+	q.sel.Reset(e.p.QueryProbe, e.rngPolicy)
+	q.seenGen++
 	// Never probe yourself.
-	q.seen[p.id] = struct{}{}
+	q.seen[p.id] = q.seenGen
 
 	for _, entry := range p.link.Entries() {
 		q.addCandidate(entry)
@@ -87,6 +131,7 @@ func (e *Engine) handleProbeStep(q *query) {
 			e.res.Aborted++
 			e.inFlightCounted--
 		}
+		e.putQuery(q)
 		return
 	}
 
@@ -220,7 +265,11 @@ func (e *Engine) completeQuery(origin *peer, q *query, satisfied bool) {
 		e.res.RefusedProbes += int64(q.refused)
 		e.res.ResponseTimeSum += e.now - q.started
 	}
-	if q.burstRemaining > 0 {
-		e.startQuery(origin, q.burstRemaining-1)
+	// Recycle before chaining so the burst's next query can reuse this
+	// one's storage immediately.
+	burst := q.burstRemaining
+	e.putQuery(q)
+	if burst > 0 {
+		e.startQuery(origin, burst-1)
 	}
 }

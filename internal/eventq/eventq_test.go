@@ -148,6 +148,7 @@ func BenchmarkPushPop(b *testing.B) {
 	for i := range times {
 		times[i] = rng.Float64() * 1000
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Push(times[i%len(times)], i)

@@ -11,6 +11,9 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -217,15 +220,41 @@ func Run(id string, opts Options) (*Result, error) {
 // suite's cost. Keys include every input that affects the runs.
 var sweepMemo sync.Map // string -> []*core.Results
 
-// memoKey builds a cache key from the options and a sweep label.
-func memoKey(opts Options, label string) string {
-	return fmt.Sprintf("%s|scale=%v|seed=%d|reps=%d", label, opts.Scale, opts.seed(), opts.Replications)
+// memoKey builds a cache key from the options, a sweep label, and a
+// digest of the parameter sets themselves. The digest matters: labels
+// are chosen by experiment authors, and two sweeps sharing a label,
+// scale, seed, and replication count but differing in params (say,
+// after an experiment is re-tuned) must never silently collide.
+func memoKey(opts Options, label string, params []core.Params) string {
+	return fmt.Sprintf("%s|scale=%v|seed=%d|reps=%d|params=%s",
+		label, opts.Scale, opts.seed(), opts.Replications, paramsDigest(params))
+}
+
+// paramsDigest hashes the full JSON encoding of every parameter set
+// (length-prefixed, so concatenation ambiguities cannot produce equal
+// digests for different sweeps). Params serializes completely except
+// the Trace writer, which never participates in sweeps.
+func paramsDigest(params []core.Params) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "n=%d;", len(params))
+	for _, p := range params {
+		b, err := json.Marshal(p)
+		if err != nil {
+			// Params is a plain data struct; Marshal cannot fail. Guard
+			// anyway so a future non-serializable field cannot poison
+			// the cache with colliding keys.
+			panic(fmt.Sprintf("experiments: cannot hash params: %v", err))
+		}
+		fmt.Fprintf(h, "%d:", len(b))
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // runAllMemo is runAll with process-level memoization under the given
 // label.
 func runAllMemo(opts Options, label string, params []core.Params) ([]*core.Results, error) {
-	key := memoKey(opts, label)
+	key := memoKey(opts, label, params)
 	if v, ok := sweepMemo.Load(key); ok {
 		return v.([]*core.Results), nil
 	}
@@ -267,42 +296,53 @@ func runAll(opts Options, params []core.Params) ([]*core.Results, error) {
 	return merged, nil
 }
 
-// runFlat executes each parameter set once, in parallel, preserving
-// order. Each run gets a distinct seed derived from its index so sweep
-// points are independent but reproducible.
+// runFlat executes each parameter set once on a bounded pool of
+// opts.parallelism() workers, preserving order. Each run gets a
+// distinct seed derived from its index so sweep points are independent
+// but reproducible. A worker pool (rather than one goroutine per point
+// gated on a semaphore) keeps goroutine count — and therefore stack
+// and scheduler footprint — flat even for multi-thousand-point sweeps.
 func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 	results := make([]*core.Results, len(params))
 	errs := make([]error, len(params))
-	sem := make(chan struct{}, opts.parallelism())
+	work := make(chan int)
+	workers := opts.parallelism()
+	if workers > len(params) {
+		workers = len(params)
+	}
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
-	for i := range params {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p := params[i]
-			p.Seed = p.Seed + uint64(i)*0x9e3779b9
-			engine, err := core.New(p)
-			if err != nil {
-				errs[i] = err
-				return
+			for i := range work {
+				p := params[i]
+				p.Seed = p.Seed + uint64(i)*0x9e3779b9
+				engine, err := core.New(p)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := engine.Run()
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = res
+				if opts.Progress != nil {
+					progressMu.Lock()
+					fmt.Fprintf(opts.Progress, "  run %d/%d done (N=%d cache=%d)\n",
+						i+1, len(params), p.NetworkSize, p.CacheSize)
+					progressMu.Unlock()
+				}
 			}
-			res, err := engine.Run()
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i] = res
-			if opts.Progress != nil {
-				progressMu.Lock()
-				fmt.Fprintf(opts.Progress, "  run %d/%d done (N=%d cache=%d)\n",
-					i+1, len(params), p.NetworkSize, p.CacheSize)
-				progressMu.Unlock()
-			}
-		}(i)
+		}()
 	}
+	for i := range params {
+		work <- i
+	}
+	close(work)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -265,6 +265,69 @@ func (g *Graph) ReachableFrom(id cache.PeerID) int {
 	return count
 }
 
+// WCCScratch is a reusable union-find for repeated largest-WCC
+// computations over index-identified nodes. A simulator that samples
+// connectivity every few virtual seconds resets one WCCScratch per
+// sample instead of rebuilding a Builder + Graph, so steady-state
+// sampling does not allocate (the backing arrays grow once to the
+// population high-water mark).
+//
+// Nodes are dense indices [0, n); the caller supplies its own
+// index-to-peer mapping (a simulation engine already has one). The
+// zero value is ready to use after Reset.
+type WCCScratch struct {
+	parent, size []int
+}
+
+// Reset prepares the scratch for a snapshot of n nodes, each initially
+// its own component.
+func (s *WCCScratch) Reset(n int) {
+	if cap(s.parent) < n {
+		s.parent = make([]int, n)
+		s.size = make([]int, n)
+	}
+	s.parent = s.parent[:n]
+	s.size = s.size[:n]
+	for i := 0; i < n; i++ {
+		s.parent[i] = i
+		s.size[i] = 1
+	}
+}
+
+// Union merges the components of nodes a and b (an undirected edge:
+// weak connectivity ignores direction). Self-loops are no-ops.
+func (s *WCCScratch) Union(a, b int) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	if s.size[ra] < s.size[rb] {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	s.size[ra] += s.size[rb]
+}
+
+// Largest returns the size of the largest component (0 when Reset(0)).
+func (s *WCCScratch) Largest() int {
+	best := 0
+	for i := range s.parent {
+		if s.parent[i] == i && s.size[i] > best {
+			best = s.size[i]
+		}
+	}
+	return best
+}
+
+// find is path-halving lookup, identical to unionFind.find.
+func (s *WCCScratch) find(x int) int {
+	for s.parent[x] != x {
+		s.parent[x] = s.parent[s.parent[x]]
+		x = s.parent[x]
+	}
+	return x
+}
+
 // unionFind is a weighted quick-union with path halving.
 type unionFind struct {
 	parent []int

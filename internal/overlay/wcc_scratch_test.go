@@ -1,0 +1,64 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/simrng"
+)
+
+// TestWCCScratchMatchesGraph checks the reusable union-find against the
+// Graph-based reference on random digraphs, including reuse of one
+// scratch across snapshots of varying size (the engine's sampling
+// pattern).
+func TestWCCScratchMatchesGraph(t *testing.T) {
+	r := simrng.New(42)
+	var sc WCCScratch
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(60)
+		numEdges := r.Intn(4 * n)
+		edges := make([][2]int, 0, numEdges)
+		for i := 0; i < numEdges; i++ {
+			a := 1 + r.Intn(n)
+			b := 1 + r.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		g := build(t, n, edges)
+		want := g.LargestWCC()
+
+		sc.Reset(n)
+		for _, e := range edges {
+			sc.Union(e[0]-1, e[1]-1)
+		}
+		if got := sc.Largest(); got != want {
+			t.Fatalf("trial %d (n=%d, %d edges): scratch WCC %d, graph WCC %d",
+				trial, n, len(edges), got, want)
+		}
+	}
+}
+
+// TestWCCScratchEmpty pins the degenerate cases.
+func TestWCCScratchEmpty(t *testing.T) {
+	var sc WCCScratch
+	sc.Reset(0)
+	if got := sc.Largest(); got != 0 {
+		t.Fatalf("empty scratch Largest = %d, want 0", got)
+	}
+	sc.Reset(1)
+	if got := sc.Largest(); got != 1 {
+		t.Fatalf("singleton Largest = %d, want 1", got)
+	}
+	// Shrinking reuse after a larger snapshot must not leak state.
+	sc.Reset(10)
+	for i := 0; i < 9; i++ {
+		sc.Union(i, i+1)
+	}
+	if got := sc.Largest(); got != 10 {
+		t.Fatalf("chain Largest = %d, want 10", got)
+	}
+	sc.Reset(2)
+	if got := sc.Largest(); got != 1 {
+		t.Fatalf("after shrink Largest = %d, want 1", got)
+	}
+}

@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/simrng"
+)
+
+func benchEntries(n int) []cache.Entry {
+	r := simrng.New(99)
+	entries := make([]cache.Entry, n)
+	for i := range entries {
+		entries[i] = cache.Entry{
+			Addr:   cache.PeerID(i + 1),
+			TS:     float64(r.Intn(1000)),
+			NumRes: int32(r.Intn(50)),
+		}
+	}
+	return entries
+}
+
+// BenchmarkPickNReference measures the allocating package-level PickN
+// (kept as the determinism oracle); contrast with BenchmarkScratchPickN
+// to see what the scratch path saves.
+func BenchmarkPickNReference(b *testing.B) {
+	for _, sel := range []Selection{SelRandom, SelMFS} {
+		b.Run(sel.String(), func(b *testing.B) {
+			entries := benchEntries(128)
+			r := simrng.New(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := PickN(r, sel, entries, 10); len(got) != 10 {
+					b.Fatal("short pick")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScratchPickN measures the reusable-scratch selection used on
+// the engine's hot path. Steady state must be allocation-free.
+func BenchmarkScratchPickN(b *testing.B) {
+	for _, sel := range []Selection{SelRandom, SelMFS} {
+		b.Run(sel.String(), func(b *testing.B) {
+			entries := benchEntries(128)
+			r := simrng.New(7)
+			var sc Scratch
+			sc.PickN(r, sel, entries, 10) // prime the scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := sc.PickN(r, sel, entries, 10); len(got) != 10 {
+					b.Fatal("short pick")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsert measures cache insertion under eviction pressure (the
+// per-pong-entry write path).
+func BenchmarkInsert(b *testing.B) {
+	for _, ev := range []Eviction{EvRandom, EvLFS} {
+		b.Run(ev.String(), func(b *testing.B) {
+			c := cache.NewLinkCache(128)
+			for _, e := range benchEntries(128) {
+				c.Add(e)
+			}
+			r := simrng.New(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Insert(r, ev, c, cache.Entry{Addr: cache.PeerID(100000 + i)})
+			}
+		})
+	}
+}
+
+// BenchmarkSelector measures the incremental best-first candidate
+// stream (Add/Next) that queries consume.
+func BenchmarkSelector(b *testing.B) {
+	entries := benchEntries(64)
+	r := simrng.New(7)
+	s := NewSelector(SelMFS, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(SelMFS, r)
+		for _, e := range entries {
+			s.Add(e)
+		}
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+	}
+}

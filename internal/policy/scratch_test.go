@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/simrng"
+)
+
+// randomEntries builds a cache snapshot with adversarial score
+// structure: duplicated scores (tie-breaking), zeros, and a mix of
+// Direct flags so MR* diverges from MR.
+func randomEntries(r *simrng.RNG, n int) []cache.Entry {
+	entries := make([]cache.Entry, n)
+	for i := range entries {
+		entries[i] = cache.Entry{
+			Addr:     cache.PeerID(i + 1),
+			TS:       float64(r.Intn(8)), // few distinct values => many ties
+			NumFiles: int32(r.Intn(5)),
+			NumRes:   int32(r.Intn(4)),
+			Direct:   r.Bool(0.5),
+		}
+	}
+	return entries
+}
+
+var allSelections = []Selection{SelRandom, SelMRU, SelLRU, SelMFS, SelMR, SelMRStar}
+
+// TestScratchMatchesReference is the determinism contract of the
+// allocation-free fast path: for every policy, cache size, and request
+// size, Scratch.PickN must return exactly the indices the allocating
+// reference PickN returns, in the same order, while consuming the RNG
+// identically (verified by running both from identically seeded
+// streams and comparing subsequent draws).
+func TestScratchMatchesReference(t *testing.T) {
+	for _, sel := range allSelections {
+		for seed := uint64(1); seed <= 20; seed++ {
+			gen := simrng.New(seed * 77)
+			for _, size := range []int{0, 1, 2, 3, 5, 17, 64, 257} {
+				entries := randomEntries(gen, size)
+				for _, n := range []int{0, 1, 2, 5, size / 2, size, size + 3} {
+					rRef := simrng.New(seed)
+					rFast := simrng.New(seed)
+					var sc Scratch
+					ref := PickN(rRef, sel, entries, n)
+					got := sc.PickN(rFast, sel, entries, n)
+					if len(ref) != len(got) {
+						t.Fatalf("%v size=%d n=%d: len %d != %d", sel, size, n, len(got), len(ref))
+					}
+					for i := range ref {
+						if ref[i] != got[i] {
+							t.Fatalf("%v size=%d n=%d: idx[%d] = %d, want %d\nref=%v\ngot=%v",
+								sel, size, n, i, got[i], ref[i], ref, got)
+						}
+					}
+					if a, b := rRef.Uint64(), rFast.Uint64(); a != b {
+						t.Fatalf("%v size=%d n=%d: RNG diverged after call (%d vs %d)", sel, size, n, b, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchReuse verifies marks and buffers survive heavy reuse of a
+// single Scratch across interleaved policies and sizes.
+func TestScratchReuse(t *testing.T) {
+	gen := simrng.New(99)
+	var sc Scratch
+	for round := 0; round < 500; round++ {
+		sel := allSelections[round%len(allSelections)]
+		entries := randomEntries(gen, 1+round%40)
+		n := 1 + round%7
+		seed := uint64(round + 1)
+		ref := PickN(simrng.New(seed), sel, entries, n)
+		got := sc.PickN(simrng.New(seed), sel, entries, n)
+		if len(ref) != len(got) {
+			t.Fatalf("round %d: len %d != %d", round, len(got), len(ref))
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("round %d (%v): got %v want %v", round, sel, got, ref)
+			}
+		}
+	}
+}
+
+// TestScratchPickDelegates pins the scratch Pick to the reference.
+func TestScratchPickDelegates(t *testing.T) {
+	gen := simrng.New(5)
+	entries := randomEntries(gen, 31)
+	var sc Scratch
+	for _, sel := range allSelections {
+		for seed := uint64(1); seed < 10; seed++ {
+			ref := Pick(simrng.New(seed), sel, entries)
+			got := sc.Pick(simrng.New(seed), sel, entries)
+			if ref != got {
+				t.Fatalf("%v: Pick %d != %d", sel, got, ref)
+			}
+		}
+	}
+}
+
+// TestScratchTopKExtremeScores exercises the heap with infinities and
+// large magnitudes where comparison bugs would reorder winners.
+func TestScratchTopKExtremeScores(t *testing.T) {
+	entries := []cache.Entry{
+		{Addr: 1, TS: math.Inf(1)},
+		{Addr: 2, TS: -1e300},
+		{Addr: 3, TS: math.Inf(-1)},
+		{Addr: 4, TS: 1e300},
+		{Addr: 5, TS: math.Inf(1)},
+		{Addr: 6, TS: 0},
+	}
+	var sc Scratch
+	for n := 1; n <= len(entries); n++ {
+		ref := PickN(nil, SelMRU, entries, n)
+		got := sc.PickN(nil, SelMRU, entries, n)
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("n=%d: got %v want %v", n, got, ref)
+			}
+		}
+	}
+}
+
+// TestSelectorReset verifies a reused selector behaves exactly like a
+// fresh one: same emission order, same RNG consumption.
+func TestSelectorReset(t *testing.T) {
+	gen := simrng.New(123)
+	for _, sel := range allSelections {
+		reused := NewSelector(sel, nil)
+		for trial := 0; trial < 20; trial++ {
+			entries := randomEntries(gen, 1+trial%25)
+			seed := uint64(trial + 1)
+			rFresh, rReused := simrng.New(seed), simrng.New(seed)
+			fresh := NewSelector(sel, rFresh)
+			reused.Reset(sel, rReused)
+			for _, e := range entries {
+				fresh.Add(e)
+				reused.Add(e)
+			}
+			if fresh.Len() != reused.Len() {
+				t.Fatalf("%v trial %d: Len %d != %d", sel, trial, reused.Len(), fresh.Len())
+			}
+			for {
+				a, okA := fresh.Next()
+				b, okB := reused.Next()
+				if okA != okB {
+					t.Fatalf("%v trial %d: exhaustion mismatch", sel, trial)
+				}
+				if !okA {
+					break
+				}
+				if a != b {
+					t.Fatalf("%v trial %d: entry %+v != %+v", sel, trial, b, a)
+				}
+			}
+		}
+	}
+}

@@ -38,6 +38,18 @@ func NewSelector(sel Selection, rng *simrng.RNG) *Selector {
 	return &Selector{sel: sel, rng: rng}
 }
 
+// Reset returns s to its just-constructed state for the given policy
+// while retaining the candidate buffers, so pooled selectors add
+// candidates without reallocating. A reset selector behaves exactly
+// like NewSelector(sel, rng).
+func (s *Selector) Reset(sel Selection, rng *simrng.RNG) {
+	s.sel = sel
+	s.rng = rng
+	s.pool = s.pool[:0]
+	s.heap = s.heap[:0]
+	s.seq = 0
+}
+
 // Len reports the number of pending candidates.
 func (s *Selector) Len() int {
 	if s.sel == SelRandom {
