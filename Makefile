@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json experiments-quick experiments-full clean
+.PHONY: all build vet test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check obs-smoke experiments-quick experiments-full clean
 
-all: build vet test fuzz-smoke bench-smoke
+all: build vet test fuzz-smoke bench-smoke obs-smoke
 
 # The packages with hot-path microbenchmarks (b.ReportAllocs); see also
 # the top-level BenchmarkSingleRun in bench_test.go.
@@ -60,6 +60,36 @@ bench-json:
 	  $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS); } \
 	  | tee /dev/stderr | /tmp/benchjson -o BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
+
+# Compare a fresh BenchmarkSingleRun against the recorded trajectory
+# point: fails if allocs/op (iteration-exact, machine-independent)
+# grows past 110% of the baseline. Override with
+# `make bench-check BENCH_BASELINE=BENCH_<date>.json`.
+BENCH_BASELINE ?= BENCH_20260805.json
+bench-check:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 3x . \
+	  | tee /dev/stderr | /tmp/benchjson -check $(BENCH_BASELINE)
+
+# End-to-end smoke of the observability endpoints: start a live node
+# with -metrics, scrape /metrics and /metrics.json, and validate the
+# exposition carries the guess_node_* instrument set.
+obs-smoke:
+	$(GO) build -o /tmp/guess-node ./cmd/guess-node
+	@/tmp/guess-node -listen 127.0.0.1:0 -metrics 127.0.0.1:9464 -files smoke.mp3 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=; for i in 1 2 3 4 5 6 7 8 9 10; do \
+	  curl -fsS http://127.0.0.1:9464/metrics >/tmp/obs-smoke.prom 2>/dev/null && ok=1 && break; \
+	  sleep 0.3; \
+	done; \
+	[ -n "$$ok" ] || { echo "obs-smoke: /metrics never came up" >&2; exit 1; }; \
+	grep -q '^# TYPE guess_node_pings_sent_total counter' /tmp/obs-smoke.prom || \
+	  { echo "obs-smoke: missing guess_node_pings_sent_total TYPE line" >&2; exit 1; }; \
+	grep -q '^guess_node_rtt_seconds_bucket{le="+Inf"} ' /tmp/obs-smoke.prom || \
+	  { echo "obs-smoke: missing guess_node_rtt_seconds +Inf bucket" >&2; exit 1; }; \
+	curl -fsS http://127.0.0.1:9464/metrics.json | grep -q '"guess_node_cache_entries"' || \
+	  { echo "obs-smoke: /metrics.json missing guess_node_cache_entries" >&2; exit 1; }; \
+	echo "obs-smoke: /metrics and /metrics.json OK"
 
 # Regenerate every paper table/figure quickly (small networks).
 experiments-quick:

@@ -7,6 +7,7 @@ package guess_test
 // cmd/guess-experiments -scale full for paper-scale numbers.
 
 import (
+	"context"
 	"testing"
 
 	guess "repro"
@@ -72,7 +73,7 @@ func BenchmarkSingleRun(b *testing.B) {
 		cfg.WarmupTime = 100
 		cfg.MeasureTime = 300
 		cfg.Seed = uint64(i + 1)
-		res, err := guess.Run(cfg)
+		res, err := guess.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

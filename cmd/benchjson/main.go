@@ -7,6 +7,14 @@
 // The record carries the machine header (goos/goarch/cpu), the git
 // revision when available, and one entry per benchmark with ns/op,
 // B/op, and allocs/op. See "Profiling and benchmarking" in README.md.
+//
+// With -check it compares fresh output against a recorded trajectory
+// point instead of writing one, failing when allocation counts drift:
+//
+//	go test -run '^$' -bench BenchmarkSingleRun -benchmem . | benchjson -check BENCH_20260805.json
+//
+// allocs/op is the checked metric because it is iteration-exact and
+// machine-independent, unlike ns/op; `make bench-check` wires this up.
 package main
 
 import (
@@ -40,6 +48,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout)")
+	check := fs.String("check", "", "baseline BENCH_<date>.json: compare instead of record")
+	benchmark := fs.String("benchmark", "BenchmarkSingleRun", "benchmark name to compare with -check")
+	maxRatio := fs.Float64("max-ratio", 1.10, "fail -check when allocs/op exceeds baseline by this factor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +73,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark lines in input")
 	}
 
+	if *check != "" {
+		return checkAgainst(*check, *benchmark, *maxRatio, results, stdout)
+	}
+
 	rec := record{
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Header:  hdr,
@@ -81,4 +96,43 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = stdout.Write(b)
 	return err
+}
+
+// checkAgainst compares the named benchmark's allocs/op in results
+// against the recorded baseline, allowing growth up to maxRatio.
+func checkAgainst(baselinePath, name string, maxRatio float64, results []benchfmt.Result, stdout io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline record
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	find := func(rs []benchfmt.Result, where string) (benchfmt.Result, error) {
+		for _, r := range rs {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return benchfmt.Result{}, fmt.Errorf("%s has no %s result", where, name)
+	}
+	base, err := find(baseline.Results, baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := find(results, "input")
+	if err != nil {
+		return err
+	}
+	if base.AllocsPerOp <= 0 {
+		return fmt.Errorf("%s: %s baseline has no allocs/op (recorded without -benchmem?)", baselinePath, name)
+	}
+	ratio := fresh.AllocsPerOp / base.AllocsPerOp
+	fmt.Fprintf(stdout, "%s allocs/op: %.0f vs baseline %.0f (%s, rev %s) = %.3fx (limit %.2fx)\n",
+		name, fresh.AllocsPerOp, base.AllocsPerOp, baseline.Date, baseline.Revision, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("%s allocs/op regressed beyond the %.2fx budget", name, maxRatio)
+	}
+	return nil
 }

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	svgDir := fs.String("svg", "", "also render each figure chart as SVG into this directory")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	traceQueries := fs.String("trace-queries", "", "write a JSONL per-query event trace of every run to this file")
+	metricsOut := fs.String("metrics-out", "", "write aggregate Prometheus-text metrics at exit to this file (\"-\" = stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -78,10 +83,16 @@ func run(args []string) error {
 		return nil
 	}
 
+	// SIGINT cancels the sweep: no further runs are scheduled and
+	// in-flight simulations stop at their next event batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.Options{
 		Seed:         *seed,
 		Parallelism:  *parallel,
 		Replications: *replications,
+		Context:      ctx,
 	}
 	switch *scaleName {
 	case "quick":
@@ -93,6 +104,40 @@ func run(args []string) error {
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+	if *traceQueries != "" {
+		f, err := os.Create(*traceQueries)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw := obs.NewTraceWriter(f).Mask(obs.QueryEventMask)
+		defer func() {
+			if err := tw.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "guess-experiments: -trace-queries:", err)
+			}
+		}()
+		opts.Observer = tw
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = obs.NewSimMetrics(reg)
+		defer func() {
+			out := os.Stdout
+			if *metricsOut != "-" {
+				f, err := os.Create(*metricsOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "guess-experiments: -metrics-out:", err)
+					return
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := reg.WritePrometheus(out); err != nil {
+				fmt.Fprintln(os.Stderr, "guess-experiments: -metrics-out:", err)
+			}
+		}()
 	}
 
 	ids := experiments.IDs()

@@ -14,8 +14,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -50,6 +52,7 @@ func run(args []string) error {
 	queryFlag := fs.String("query", "", "run one query and exit")
 	desired := fs.Int("desired", 1, "results wanted for -query")
 	wait := fs.Duration("gossip-wait", 2*time.Second, "time to gossip before -query runs")
+	metricsAddr := fs.String("metrics", "", "HTTP address serving /metrics (Prometheus text) and /metrics.json (empty = disabled)")
 	verbose := fs.Bool("v", false, "verbose protocol logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +62,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg := guess.NewMetricsRegistry()
 	cfg := node.Config{
 		CacheSize:          *cacheSize,
 		PingInterval:       *pingInterval,
@@ -69,6 +73,7 @@ func run(args []string) error {
 		BusyBackoff:        *busyBackoff,
 		MaxProbesPerSecond: *capacity,
 		QueryProbe:         sel,
+		Metrics:            reg,
 	}
 	if *filesFlag != "" {
 		for _, f := range strings.Split(*filesFlag, ",") {
@@ -92,6 +97,30 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				fmt.Fprintln(os.Stderr, "guess-node: /metrics:", err)
+			}
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				fmt.Fprintln(os.Stderr, "guess-node: /metrics.json:", err)
+			}
+		})
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "guess-node: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	if *bootstrapFlag != "" {
 		for _, a := range strings.Split(*bootstrapFlag, ",") {

@@ -1,5 +1,7 @@
 // Command guess-sim runs a single GUESS simulation and prints its
 // metrics. All paper parameters (Tables 1 and 2) are exposed as flags.
+// Interrupting a run (SIGINT) stops it cleanly and reports the partial
+// measurements.
 //
 // Example:
 //
@@ -7,14 +9,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/policy"
+	guess "repro"
 )
 
 func main() {
@@ -25,12 +28,14 @@ func main() {
 }
 
 func run(args []string) error {
-	p := core.DefaultParams()
+	p := guess.DefaultConfig()
 	fs := flag.NewFlagSet("guess-sim", flag.ContinueOnError)
 
 	configPath := fs.String("config", "", "JSON file of parameters to load before applying flags")
 	dumpConfig := fs.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 	tracePath := fs.String("trace", "", "write a CSV time series of the run to this file")
+	traceQueries := fs.String("trace-queries", "", "write a JSONL per-query event trace to this file")
+	metricsOut := fs.String("metrics-out", "", "write Prometheus-text metrics after the run to this file (\"-\" = stdout)")
 
 	fs.IntVar(&p.NetworkSize, "network", p.NetworkSize, "number of live peers")
 	fs.IntVar(&p.NumDesiredResults, "results", p.NumDesiredResults, "results needed to satisfy a query")
@@ -75,7 +80,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		p = core.DefaultParams()
+		p = guess.DefaultConfig()
 		if err := json.Unmarshal(data, &p); err != nil {
 			return fmt.Errorf("parsing %s: %w", *configPath, err)
 		}
@@ -93,32 +98,32 @@ func run(args []string) error {
 
 	var err error
 	if apply("query-probe") {
-		if p.QueryProbe, err = policy.ParseSelection(*queryProbe); err != nil {
+		if p.QueryProbe, err = guess.ParseSelection(*queryProbe); err != nil {
 			return err
 		}
 	}
 	if apply("query-pong") {
-		if p.QueryPong, err = policy.ParseSelection(*queryPong); err != nil {
+		if p.QueryPong, err = guess.ParseSelection(*queryPong); err != nil {
 			return err
 		}
 	}
 	if apply("ping-probe") {
-		if p.PingProbe, err = policy.ParseSelection(*pingProbe); err != nil {
+		if p.PingProbe, err = guess.ParseSelection(*pingProbe); err != nil {
 			return err
 		}
 	}
 	if apply("ping-pong") {
-		if p.PingPong, err = policy.ParseSelection(*pingPong); err != nil {
+		if p.PingPong, err = guess.ParseSelection(*pingPong); err != nil {
 			return err
 		}
 	}
 	if apply("cache-repl") {
-		if p.CacheReplacement, err = policy.ParseEviction(*cacheRepl); err != nil {
+		if p.CacheReplacement, err = guess.ParseEviction(*cacheRepl); err != nil {
 			return err
 		}
 	}
 	if apply("bad-pong") {
-		if p.BadPong, err = core.ParseBadPongBehavior(*badPong); err != nil {
+		if p.BadPong, err = guess.ParseBadPongBehavior(*badPong); err != nil {
 			return err
 		}
 	}
@@ -140,20 +145,60 @@ func run(args []string) error {
 		p.Trace = f
 	}
 
-	engine, err := core.New(p)
-	if err != nil {
-		return err
+	var opts []guess.Option
+	reg := guess.NewMetricsRegistry()
+	if *metricsOut != "" {
+		opts = append(opts, guess.WithMetrics(reg))
 	}
+	var qtrace *guess.TraceWriter
+	if *traceQueries != "" {
+		f, err := os.Create(*traceQueries)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		qtrace = guess.NewTraceWriter(f).Mask(guess.TraceQueryEvents)
+		opts = append(opts, guess.WithObserver(qtrace))
+	}
+
+	// SIGINT cancels the run; guess.Run then returns the partial
+	// measurements with Interrupted set.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, err := engine.Run()
+	res, err := guess.Run(ctx, p, opts...)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	if qtrace != nil {
+		if err := qtrace.Err(); err != nil {
+			return fmt.Errorf("writing query trace: %w", err)
+		}
+	}
+	if *metricsOut != "" {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.WritePrometheus(out); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("GUESS simulation: %d peers, cache %d, policies QP=%s QPong=%s PP=%s PPong=%s CR=%s\n",
 		p.NetworkSize, p.CacheSize, p.QueryProbe, p.QueryPong, p.PingProbe, p.PingPong, p.CacheReplacement)
-	fmt.Printf("simulated %.0fs (warmup %.0fs) in %v\n\n", p.MeasureTime, p.WarmupTime, elapsed.Round(time.Millisecond))
+	fmt.Printf("simulated %.0fs (warmup %.0fs) in %v\n", p.MeasureTime, p.WarmupTime, elapsed.Round(time.Millisecond))
+	if res.Interrupted {
+		fmt.Printf("interrupted: partial results up to the cancellation point\n")
+	}
+	fmt.Println()
 
 	if p.QueriesEnabled {
 		fmt.Printf("queries:            %d completed (%d satisfied, %d unsatisfied, %d aborted)\n",

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := engine.Run()
+		res, err := engine.Run(context.Background())
 		if err != nil {
 			return err
 		}

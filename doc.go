@@ -15,7 +15,12 @@
 // This package is the public façade over the full simulation stack:
 //
 //   - Run executes one GUESS simulation from a Config (the paper's
-//     Tables 1 and 2 parameters) and returns Results;
+//     Tables 1 and 2 parameters) and returns Results; the context
+//     cancels it cooperatively (partial Results, Interrupted set),
+//     and functional options attach observability — WithMetrics
+//     fills a MetricsRegistry, WithObserver streams TraceEvents
+//     (e.g. into a TraceWriter for JSONL), WithProgress logs
+//     periodic status lines;
 //   - RunExperiment regenerates any table or figure from the paper's
 //     evaluation section (Table 3, Figures 3-21) — see ExperimentIDs;
 //   - the policy constants (Random, MRU, LRU, MFS, MR, MRStar and the
@@ -26,10 +31,16 @@
 //	cfg := guess.DefaultConfig()
 //	cfg.QueryPong = guess.MFS
 //	cfg.CacheReplacement = guess.EvictLFS
-//	res, err := guess.Run(cfg)
+//	res, err := guess.Run(context.Background(), cfg)
 //	if err != nil { ... }
 //	fmt.Printf("%.1f probes/query, %.1f%% unsatisfied\n",
 //		res.ProbesPerQuery(), 100*res.Unsatisfaction())
+//
+// Run's signature changed when the observability layer landed: it now
+// takes a context and variadic options where it took a bare Config.
+// The deprecated RunConfig shim keeps the old call shape compiling;
+// new code should call Run directly. See README.md, "Observability",
+// for the metric and trace schemas.
 //
 // The substrates live in internal packages: the discrete-event engine
 // (internal/core), the content and churn models (internal/content,

@@ -1,6 +1,7 @@
 package guess_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ func ExampleRun() {
 	cfg.NetworkSize = 200
 	cfg.WarmupTime = 100
 	cfg.MeasureTime = 300
-	res, err := guess.Run(cfg)
+	res, err := guess.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,11 +35,11 @@ func ExampleRun_policies() {
 	tuned.QueryPong = guess.MFS
 	tuned.CacheReplacement = guess.EvictLFS
 
-	baseRes, err := guess.Run(base)
+	baseRes, err := guess.Run(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tunedRes, err := guess.Run(tuned)
+	tunedRes, err := guess.Run(context.Background(), tuned)
 	if err != nil {
 		log.Fatal(err)
 	}

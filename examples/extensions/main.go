@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func base() guess.Config {
 }
 
 func mustRun(cfg guess.Config) *guess.Results {
-	res, err := guess.Run(cfg)
+	res, err := guess.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

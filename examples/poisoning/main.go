@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -47,7 +48,7 @@ func main() {
 					cfg.CacheReplacement = guess.EvictionFor(pol)
 					cfg.PercentBadPeers = frac
 					cfg.BadPong = behavior
-					res, err := guess.Run(cfg)
+					res, err := guess.Run(context.Background(), cfg)
 					if err != nil {
 						errCh <- err
 						return

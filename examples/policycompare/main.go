@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -34,7 +35,7 @@ func main() {
 			cfg.MeasureTime = 800
 			cfg.QueryPong = pol
 			cfg.CacheReplacement = guess.EvictionFor(pol)
-			res, err := guess.Run(cfg)
+			res, err := guess.Run(context.Background(), cfg)
 			if err != nil {
 				errs[i] = err
 				return

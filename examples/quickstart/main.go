@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	cfg.WarmupTime = 200
 	cfg.MeasureTime = 800
 
-	res, err := guess.Run(cfg)
+	res, err := guess.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 	// (CacheReplacement=LFS).
 	cfg.QueryPong = guess.MFS
 	cfg.CacheReplacement = guess.EvictLFS
-	tuned, err := guess.Run(cfg)
+	tuned, err := guess.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

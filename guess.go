@@ -1,9 +1,13 @@
 package guess
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -27,13 +31,148 @@ func DefaultConfig() Config { return core.DefaultParams() }
 // DefaultContentParams returns the calibrated content-model defaults.
 func DefaultContentParams() ContentParams { return content.DefaultParams() }
 
-// Run executes one GUESS simulation.
-func Run(cfg Config) (*Results, error) {
+// MetricsRegistry collects named counters, gauges, and histograms.
+// Attach one to a run with WithMetrics, then render it with
+// WritePrometheus (text exposition format), WriteJSON, or Snapshot.
+// A single registry may be shared by several runs; the counters then
+// aggregate across them.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Observer receives simulation trace events (query lifecycle, probes,
+// pongs, churn); attach one with WithObserver. Implementations must be
+// fast — Observe runs inline on the simulation loop — and, when the
+// same observer watches parallel runs, safe for concurrent use.
+type Observer = obs.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = obs.ObserverFunc
+
+// TraceEvent is one simulation trace event; see the Kind field and the
+// Ev* constants for the schema (documented in README.md,
+// "Observability").
+type TraceEvent = obs.Event
+
+// TraceEventKind classifies a TraceEvent.
+type TraceEventKind = obs.EventKind
+
+// TraceOutcome classifies probe, ping, and query-done events.
+type TraceOutcome = obs.Outcome
+
+// Trace event kinds.
+const (
+	EvQueryIssued = obs.EvQueryIssued
+	EvProbeRound  = obs.EvProbeRound
+	EvProbe       = obs.EvProbe
+	EvPong        = obs.EvPong
+	EvQueryDone   = obs.EvQueryDone
+	EvPeerBirth   = obs.EvPeerBirth
+	EvPeerDeath   = obs.EvPeerDeath
+	EvPing        = obs.EvPing
+)
+
+// Trace outcomes.
+const (
+	OutcomeGood      = obs.OutcomeGood
+	OutcomeDead      = obs.OutcomeDead
+	OutcomeRefused   = obs.OutcomeRefused
+	OutcomeSatisfied = obs.OutcomeSatisfied
+	OutcomeExhausted = obs.OutcomeExhausted
+	OutcomeAborted   = obs.OutcomeAborted
+)
+
+// TraceWriter is an Observer that appends events to a writer as JSON
+// Lines; it is safe for concurrent use.
+type TraceWriter = obs.TraceWriter
+
+// NewTraceWriter returns a TraceWriter emitting every event kind;
+// restrict it with Mask (e.g. TraceQueryEvents).
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// Trace masks for TraceWriter.Mask.
+const (
+	// TraceQueryEvents selects the per-query kinds (issued, rounds,
+	// probes, pongs, done).
+	TraceQueryEvents = obs.QueryEventMask
+	// TraceAllEvents additionally selects churn and ping events.
+	TraceAllEvents = obs.AllEventMask
+)
+
+// Option customizes a Run.
+type Option func(*runOptions)
+
+type runOptions struct {
+	observer Observer
+	metrics  *MetricsRegistry
+	progress io.Writer
+}
+
+// WithObserver streams trace events from the run to o. Observation
+// never perturbs the simulation: a run with an observer attached is
+// byte-identical to the same seed without one.
+func WithObserver(o Observer) Option {
+	return func(ro *runOptions) { ro.observer = o }
+}
+
+// WithMetrics registers the simulator metric set (guess_sim_*) in reg
+// and updates it during the run. Metrics never perturb the simulation.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(ro *runOptions) { ro.metrics = reg }
+}
+
+// WithProgress writes a short progress line to w at every cache-health
+// sample interval.
+func WithProgress(w io.Writer) Option {
+	return func(ro *runOptions) { ro.progress = w }
+}
+
+// Run executes one GUESS simulation. Cancelling ctx stops the run
+// early: Run then returns the partial Results measured so far, with
+// Results.Interrupted set and a nil error. A nil ctx is treated as
+// context.Background().
+func Run(ctx context.Context, cfg Config, opts ...Option) (*Results, error) {
+	var ro runOptions
+	for _, opt := range opts {
+		opt(&ro)
+	}
 	engine, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Run()
+	if ro.observer != nil {
+		engine.SetObserver(ro.observer)
+	}
+	if ro.metrics != nil {
+		engine.SetMetrics(obs.NewSimMetrics(ro.metrics))
+	}
+	if ro.progress != nil {
+		engine.SetProgress(ro.progress)
+	}
+	return engine.Run(ctx)
+}
+
+// RunConfig is the pre-context, pre-option Run input, kept so existing
+// callers keep compiling with a one-line change.
+//
+// Deprecated: use Run(ctx, cfg, opts...) directly.
+type RunConfig struct {
+	// Config holds the simulation parameters.
+	Config Config
+	// Progress, when non-nil, receives periodic progress lines.
+	Progress io.Writer
+}
+
+// Run executes the configured simulation without cancellation.
+//
+// Deprecated: use the package-level Run with a context and options.
+func (rc RunConfig) Run() (*Results, error) {
+	var opts []Option
+	if rc.Progress != nil {
+		opts = append(opts, WithProgress(rc.Progress))
+	}
+	return Run(context.Background(), rc.Config, opts...)
 }
 
 // Selection orders cache entries for probing and pong construction
@@ -101,6 +240,12 @@ const (
 	// results).
 	BadPongGood = core.BadPongGood
 )
+
+// ParseBadPongBehavior resolves a malicious pong behavior name
+// ("Dead", "Bad", "Good").
+func ParseBadPongBehavior(name string) (BadPongBehavior, error) {
+	return core.ParseBadPongBehavior(name)
+}
 
 // ExperimentOptions configures experiment regeneration (scale, seed,
 // parallelism, progress output).

@@ -1,6 +1,7 @@
 package guess_test
 
 import (
+	"context"
 	"testing"
 
 	guess "repro"
@@ -12,7 +13,7 @@ func TestDefaultConfigRuns(t *testing.T) {
 	cfg.WarmupTime = 50
 	cfg.MeasureTime = 200
 	cfg.QueryRate = 0.05
-	res, err := guess.Run(cfg)
+	res, err := guess.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestDefaultConfigRuns(t *testing.T) {
 func TestRunRejectsInvalidConfig(t *testing.T) {
 	cfg := guess.DefaultConfig()
 	cfg.CacheSize = 0
-	if _, err := guess.Run(cfg); err == nil {
+	if _, err := guess.Run(context.Background(), cfg); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/policy"
@@ -18,7 +19,7 @@ func BenchmarkEngineRun(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := e.Run()
+		res, err := e.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func BenchmarkEngineRunScored(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := e.Run(); err != nil {
+		if _, err := e.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/content"
 	"repro/internal/eventq"
 	"repro/internal/lifetime"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/policy"
 	"repro/internal/simrng"
@@ -81,6 +84,18 @@ type Engine struct {
 	traceHeader bool
 	traceErr    error
 
+	// Observability (all optional; see SetObserver/SetMetrics/
+	// SetProgress). observer receives trace events, met mirrors the
+	// Results counters into a shared registry, progress gets one line
+	// per sample. None of them consume randomness or alter control
+	// flow, so attaching them leaves a seeded run byte-identical; with
+	// all nil the instrumentation is a handful of predictable branches
+	// (BenchmarkSingleRun pins the cost).
+	observer    obs.Observer
+	met         *obs.SimMetrics
+	progress    io.Writer
+	nextQueryID uint64
+
 	// Reusable hot-path scratch. The simulation's steady state is one
 	// pong build per ping/probe, one query start per burst slot, and one
 	// connectivity sample per SampleInterval; each of these used to
@@ -152,9 +167,33 @@ func New(params Params) (*Engine, error) {
 	return e, nil
 }
 
+// SetObserver attaches an observer receiving lifecycle and query trace
+// events. Must be called before Run. Observers attached to engines run
+// in parallel (sweeps) must be safe for concurrent use.
+func (e *Engine) SetObserver(o obs.Observer) { e.observer = o }
+
+// SetMetrics attaches pre-resolved registry instruments that mirror the
+// Results counters as the run progresses. Must be called before Run.
+// Engines may share one SimMetrics; the counters then aggregate.
+func (e *Engine) SetMetrics(m *obs.SimMetrics) { e.met = m }
+
+// SetProgress attaches a writer receiving one short status line per
+// sample interval. Must be called before Run. Write errors are
+// ignored (progress is best-effort, unlike Params.Trace).
+func (e *Engine) SetProgress(w io.Writer) { e.progress = w }
+
+// ctxCheckInterval is how many events the loop processes between
+// context checks: coarse enough to keep ctx.Err out of the hot path's
+// profile, fine enough that cancellation lands within microseconds of
+// simulated work.
+const ctxCheckInterval = 512
+
 // Run executes the simulation and returns its measurements. It can be
-// called once.
-func (e *Engine) Run() (*Results, error) {
+// called once. A nil ctx is treated as context.Background. When ctx is
+// cancelled mid-run the loop stops at the next event-batch boundary and
+// returns the partial Results accumulated so far with Interrupted set
+// (and a nil error: partial measurements are still measurements).
+func (e *Engine) Run(ctx context.Context) (*Results, error) {
 	if e.ran {
 		return nil, fmt.Errorf("core: engine already ran")
 	}
@@ -164,7 +203,15 @@ func (e *Engine) Run() (*Results, error) {
 	e.bootstrap()
 	e.events.Push(e.p.WarmupTime, event{kind: evSample})
 
+	var processed uint64
 	for {
+		if ctx != nil && processed%ctxCheckInterval == 0 {
+			if ctx.Err() != nil {
+				e.res.Interrupted = true
+				break
+			}
+		}
+		processed++
 		t, ev, ok := e.events.Pop()
 		if !ok || t > e.end {
 			break
@@ -293,6 +340,12 @@ func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
 		e.bad = append(e.bad, p)
 	}
 	e.res.Births++
+	if e.met != nil {
+		e.met.Births.Inc()
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{Kind: obs.EvPeerBirth, Time: e.now, Peer: uint64(id)})
+	}
 
 	e.events.Push(p.deathAt, event{kind: evDeath, peer: id})
 	e.events.Push(e.now+e.rngChurn.Float64()*p.pingInterval, event{kind: evPing, peer: id})
@@ -327,6 +380,12 @@ func (e *Engine) handleDeath(id cache.PeerID) {
 		}
 	}
 	e.res.Deaths++
+	if e.met != nil {
+		e.met.Deaths.Inc()
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{Kind: obs.EvPeerDeath, Time: e.now, Peer: uint64(id)})
+	}
 	if e.now >= e.p.WarmupTime {
 		e.loads = append(e.loads, p.probesReceived)
 	}
@@ -392,18 +451,33 @@ func (e *Engine) handlePing(id cache.PeerID) {
 		if measuring {
 			e.res.Pings++
 			e.res.DeadPings++
+			if e.met != nil {
+				e.met.Pings.Inc()
+				e.met.DeadPings.Inc()
+			}
+		}
+		if e.observer != nil {
+			e.observer.Observe(obs.Event{Kind: obs.EvPing, Time: e.now,
+				Peer: uint64(id), Target: uint64(addr), Outcome: obs.OutcomeDead})
 		}
 		return
 	}
 	if measuring {
 		e.res.Pings++
+		if e.met != nil {
+			e.met.Pings.Inc()
+		}
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{Kind: obs.EvPing, Time: e.now,
+			Peer: uint64(id), Target: uint64(addr), Outcome: obs.OutcomeGood})
 	}
 	e.recordPingOutcome(p, false)
 	// Both sides record the interaction.
 	p.link.Touch(addr, e.now)
 	target.link.Touch(id, e.now)
 	e.maybeIntroduce(target, p)
-	e.acceptPong(p, addr, e.buildPong(target, e.p.PingPong))
+	e.acceptPong(p, target, e.buildPong(target, e.p.PingPong))
 }
 
 // handleBurst starts a burst of queries for the peer and schedules its
@@ -468,6 +542,18 @@ func (e *Engine) handleSample() {
 		e.sumGood += goodSum / float64(goodPeers)
 	}
 	e.res.CacheSamples++
+
+	if e.met != nil {
+		e.met.SimTime.Set(e.now)
+		if n > 0 {
+			e.met.AvgCacheEntries.Set(held / n)
+			e.met.AvgLiveEntries.Set(live / n)
+		}
+	}
+	if e.progress != nil {
+		fmt.Fprintf(e.progress, "t=%.0f/%.0f queries=%d satisfied=%d births=%d deaths=%d\n",
+			e.now, e.end, e.res.Queries, e.res.Satisfied, e.res.Births, e.res.Deaths)
+	}
 
 	if e.p.SampleConnectivity {
 		e.sumWCC += float64(e.largestWCC())
@@ -546,12 +632,36 @@ func (e *Engine) maybeIntroduce(host, initiator *peer) {
 	if !e.rngIntro.Bool(e.p.IntroProb) {
 		return
 	}
-	policy.Insert(e.rngPolicy, e.p.CacheReplacement, host.link, cache.Entry{
+	e.insertEntry(host, cache.Entry{
 		Addr:     initiator.id,
 		TS:       e.now,
 		NumFiles: initiator.advertisedFiles,
 		Direct:   true,
-	})
+	}, false)
+}
+
+// insertEntry runs the receiver's cache-replacement policy and keeps
+// the observability counters: an insertion into a full cache displaced
+// a resident (an eviction), and fromBad marks entries supplied by a
+// malicious peer (cache poisoning). With metrics off this is exactly
+// policy.Insert — the Full pre-check runs only when counting. Either
+// way the policy's randomness consumption is untouched, so attaching
+// metrics cannot perturb a seeded run.
+func (e *Engine) insertEntry(receiver *peer, entry cache.Entry, fromBad bool) {
+	if e.met == nil {
+		policy.Insert(e.rngPolicy, e.p.CacheReplacement, receiver.link, entry)
+		return
+	}
+	full := receiver.link.Full()
+	if !policy.Insert(e.rngPolicy, e.p.CacheReplacement, receiver.link, entry) {
+		return
+	}
+	if full {
+		e.met.CacheEvictions.Inc()
+	}
+	if fromBad {
+		e.met.PoisonedEntries.Inc()
+	}
 }
 
 // buildPong constructs the host's pong under the given selection
@@ -654,9 +764,13 @@ func (e *Engine) fabricateDead(out []cache.Entry) []cache.Entry {
 // are not rewritten; the Direct flag is cleared because the NumRes
 // value is third-party experience, and ResetNumResults optionally
 // zeroes it. Pongs from blacklisted suppliers are ignored entirely.
-func (e *Engine) acceptPong(receiver *peer, source cache.PeerID, pong []cache.Entry) {
-	if receiver.pongSourceBlocked(source) {
+func (e *Engine) acceptPong(receiver *peer, source *peer, pong []cache.Entry) {
+	if receiver.pongSourceBlocked(source.id) {
 		return
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{Kind: obs.EvPong, Time: e.now,
+			Peer: uint64(receiver.id), Target: uint64(source.id), Entries: len(pong)})
 	}
 	for _, entry := range pong {
 		if entry.Addr == receiver.id {
@@ -666,8 +780,8 @@ func (e *Engine) acceptPong(receiver *peer, source cache.PeerID, pong []cache.En
 		if e.p.ResetNumResults {
 			entry.NumRes = 0
 		}
-		e.recordSupplied(receiver, source, entry.Addr)
-		policy.Insert(e.rngPolicy, e.p.CacheReplacement, receiver.link, entry)
+		e.recordSupplied(receiver, source.id, entry.Addr)
+		e.insertEntry(receiver, entry, source.malicious)
 	}
 }
 
@@ -679,6 +793,9 @@ func (e *Engine) finalize() {
 	}
 	e.res.PeerLoads = e.loads
 	e.res.Aborted += e.inFlightCounted
+	if e.met != nil {
+		e.met.Aborted.Add(uint64(e.inFlightCounted))
+	}
 
 	if s := float64(e.res.CacheSamples); s > 0 {
 		e.res.AvgCacheEntries = e.sumHeld / s

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func run(t *testing.T, p Params) *Results {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +83,10 @@ func TestRunOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); err == nil {
+	if _, err := e.Run(context.Background()); err == nil {
 		t.Fatal("second Run succeeded")
 	}
 }
@@ -134,7 +135,7 @@ func TestChurnKeepsPopulationConstant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestMaliciousFractionPreservedUnderChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got := float64(len(e.bad)) / float64(len(e.alive))

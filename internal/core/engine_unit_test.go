@@ -195,7 +195,7 @@ func TestAcceptPongRules(t *testing.T) {
 	e := newBootstrapped(t, func(p *Params) { p.ResetNumResults = true })
 	receiver := e.alive[0]
 	receiver.link = cache.NewLinkCache(e.p.CacheSize)
-	source := e.alive[1].id
+	source := e.alive[1]
 	pong := []cache.Entry{
 		{Addr: receiver.id, NumFiles: 9},               // self: skipped
 		{Addr: e.alive[2].id, NumRes: 7, Direct: true}, // NumRes zeroed, Direct cleared

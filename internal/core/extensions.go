@@ -118,5 +118,8 @@ func (e *Engine) blameDeadAddress(victim *peer, deadAddr cache.PeerID) {
 		victim.blacklist[source] = true
 		victim.link.Remove(source)
 		e.res.BlacklistEvents++
+		if e.met != nil {
+			e.met.Blacklists.Inc()
+		}
 	}
 }

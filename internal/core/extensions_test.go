@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/policy"
@@ -159,7 +160,7 @@ func TestSelfishFractionPreservedUnderChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	selfish := 0

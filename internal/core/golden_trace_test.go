@@ -8,6 +8,7 @@ package core
 // their full CSV time-series trace, and a different seed must diverge.
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func runWithTrace(t *testing.T, p Params) (*Results, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -44,7 +45,7 @@ func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
 			t.Logf("config rejected: %v", err)
 			return false
 		}
-		res, err := e.Run()
+		res, err := e.Run(context.Background())
 		if err != nil {
 			t.Logf("run failed: %v", err)
 			return false

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cache"
 	"repro/internal/content"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -11,9 +12,14 @@ import (
 // the selector buffers and the visited set are steady-state
 // allocation-free.
 type query struct {
+	// id labels the query in trace events: 1-based in issue order,
+	// stable across pooling (reassigned on every startQuery).
+	id      uint64
 	origin  cache.PeerID
 	item    content.ItemID
 	started float64
+	// round counts probe rounds for trace events.
+	round int
 	// counted records whether the query started inside the measurement
 	// window and should contribute to metrics.
 	counted bool
@@ -98,11 +104,14 @@ func (e *Engine) putQuery(q *query) {
 // and the first probe round fires immediately.
 func (e *Engine) startQuery(p *peer, burstRemaining int) {
 	q := e.getQuery()
+	e.nextQueryID++
+	q.id = e.nextQueryID
 	q.origin = p.id
 	q.item = e.universe.DrawQuery(e.rngContent)
 	q.started = e.now
 	q.counted = e.now >= e.p.WarmupTime
 	q.burstRemaining = burstRemaining
+	q.round = 0
 	q.results, q.probes, q.good, q.dead, q.refused = 0, 0, 0, 0, 0
 	q.k = e.queryParallelism(p)
 	q.lastProgress = e.now
@@ -117,6 +126,14 @@ func (e *Engine) startQuery(p *peer, burstRemaining int) {
 	if q.counted {
 		e.inFlightCounted++
 	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{
+			Kind:  obs.EvQueryIssued,
+			Time:  e.now,
+			Query: q.id,
+			Peer:  uint64(p.id),
+		})
+	}
 	e.handleProbeStep(q)
 }
 
@@ -130,9 +147,35 @@ func (e *Engine) handleProbeStep(q *query) {
 		if q.counted {
 			e.res.Aborted++
 			e.inFlightCounted--
+			if e.met != nil {
+				e.met.Aborted.Inc()
+			}
+		}
+		if e.observer != nil {
+			e.observer.Observe(obs.Event{
+				Kind:    obs.EvQueryDone,
+				Time:    e.now,
+				Query:   q.id,
+				Peer:    uint64(q.origin),
+				Outcome: obs.OutcomeAborted,
+				Probes:  q.probes,
+				Results: q.results,
+			})
 		}
 		e.putQuery(q)
 		return
+	}
+
+	q.round++
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{
+			Kind:   obs.EvProbeRound,
+			Time:   e.now,
+			Query:  q.id,
+			Peer:   uint64(q.origin),
+			Round:  q.round,
+			Probes: q.probes,
+		})
 	}
 
 	// All probes of a round are in flight before any replies arrive, so
@@ -190,6 +233,16 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 		q.dead++
 		origin.link.Remove(addr)
 		e.blameDeadAddress(origin, addr)
+		if e.observer != nil {
+			e.observer.Observe(obs.Event{
+				Kind:    obs.EvProbe,
+				Time:    e.now,
+				Query:   q.id,
+				Peer:    uint64(origin.id),
+				Target:  uint64(addr),
+				Outcome: obs.OutcomeDead,
+			})
+		}
 		return
 	}
 
@@ -207,6 +260,16 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 		} else {
 			origin.link.Remove(addr)
 		}
+		if e.observer != nil {
+			e.observer.Observe(obs.Event{
+				Kind:    obs.EvProbe,
+				Time:    e.now,
+				Query:   q.id,
+				Peer:    uint64(origin.id),
+				Target:  uint64(addr),
+				Outcome: obs.OutcomeRefused,
+			})
+		}
 		return
 	}
 
@@ -220,6 +283,17 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 	q.results += res
 	if res > 0 {
 		q.lastProgress = e.now
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{
+			Kind:    obs.EvProbe,
+			Time:    e.now,
+			Query:   q.id,
+			Peer:    uint64(origin.id),
+			Target:  uint64(addr),
+			Outcome: obs.OutcomeGood,
+			Results: res,
+		})
 	}
 
 	// Both sides record the interaction; the prober also refreshes its
@@ -245,7 +319,17 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 		}
 		e.recordSupplied(origin, addr, pe.Addr)
 		q.addCandidate(pe)
-		policy.Insert(e.rngPolicy, e.p.CacheReplacement, origin.link, pe)
+		e.insertEntry(origin, pe, target.malicious)
+	}
+	if e.observer != nil && len(pong) > 0 {
+		e.observer.Observe(obs.Event{
+			Kind:    obs.EvPong,
+			Time:    e.now,
+			Query:   q.id,
+			Peer:    uint64(origin.id),
+			Target:  uint64(addr),
+			Entries: len(pong),
+		})
 	}
 }
 
@@ -264,6 +348,35 @@ func (e *Engine) completeQuery(origin *peer, q *query, satisfied bool) {
 		e.res.DeadProbes += int64(q.dead)
 		e.res.RefusedProbes += int64(q.refused)
 		e.res.ResponseTimeSum += e.now - q.started
+		if e.met != nil {
+			e.met.Queries.Inc()
+			if satisfied {
+				e.met.Satisfied.Inc()
+			} else {
+				e.met.Unsatisfied.Inc()
+			}
+			e.met.Probes.Add(uint64(q.probes))
+			e.met.GoodProbes.Add(uint64(q.good))
+			e.met.DeadProbes.Add(uint64(q.dead))
+			e.met.RefusedProbes.Add(uint64(q.refused))
+			e.met.QueryProbesHist.Observe(float64(q.probes))
+			e.met.ResponseTime.Observe(e.now - q.started)
+		}
+	}
+	if e.observer != nil {
+		outcome := obs.OutcomeExhausted
+		if satisfied {
+			outcome = obs.OutcomeSatisfied
+		}
+		e.observer.Observe(obs.Event{
+			Kind:    obs.EvQueryDone,
+			Time:    e.now,
+			Query:   q.id,
+			Peer:    uint64(origin.id),
+			Outcome: outcome,
+			Probes:  q.probes,
+			Results: q.results,
+		})
 	}
 	// Recycle before chaining so the burst's next query can reuse this
 	// one's storage immediately.

@@ -49,6 +49,11 @@ type Results struct {
 	// BlacklistEvents counts poison-detection convictions (only with
 	// the PoisonDetection extension enabled).
 	BlacklistEvents int64
+
+	// Interrupted reports that the run's context was cancelled before
+	// the configured duration elapsed. The other fields still hold
+	// everything measured up to the interruption point.
+	Interrupted bool
 }
 
 // ProbesPerQuery returns the average number of probes per counted

@@ -9,6 +9,7 @@ package core
 // byte-identical Results and traces.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -81,7 +82,7 @@ func runTraced(t *testing.T, p Params, noReuse bool) (string, string) {
 		t.Fatal(err)
 	}
 	e.noReuse = noReuse
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

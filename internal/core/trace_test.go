@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -44,7 +45,7 @@ func TestTraceWriterErrorSurfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(); !errors.Is(err, wantErr) {
+	if _, err := e.Run(context.Background()); !errors.Is(err, wantErr) {
 		t.Fatalf("Run error = %v, want wrapped %v", err, wantErr)
 	}
 }

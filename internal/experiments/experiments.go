@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -21,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -56,7 +58,22 @@ type Options struct {
 	// compute cost.
 	Replications int
 	// Progress, when non-nil, receives one line per completed run.
+	// Writes are serialized across the worker pool (and across
+	// concurrent Run calls sharing a writer).
 	Progress io.Writer
+	// Context, when non-nil, cancels the experiment: no further runs
+	// are scheduled after cancellation, in-flight simulations stop at
+	// their next event batch, and Run returns the context's error.
+	Context context.Context
+	// Observer, when non-nil, receives trace events from every
+	// simulation in the sweep. Runs execute in parallel, so it must be
+	// safe for concurrent use (TraceWriter is). Sweeps served from the
+	// in-process memo cache do not re-run and emit no events.
+	Observer obs.Observer
+	// Metrics, when non-nil, is shared by every simulation in the
+	// sweep; counters aggregate across runs. Memo-cached sweeps do not
+	// re-run and leave it untouched.
+	Metrics *obs.SimMetrics
 }
 
 func (o Options) seed() uint64 {
@@ -71,6 +88,13 @@ func (o Options) parallelism() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // durations returns (warmup, measure) simulated seconds for the scale.
@@ -296,13 +320,25 @@ func runAll(opts Options, params []core.Params) ([]*core.Results, error) {
 	return merged, nil
 }
 
+// progressMu serializes Options.Progress writes. It is package-level,
+// not per-runFlat call: two concurrent experiment runs pointed at the
+// same writer (the CLI does this for memoized figure groups) must not
+// interleave either — per-call mutexes would only protect within one
+// pool. TestParallelProgressRace exercises this under -race.
+var progressMu sync.Mutex
+
 // runFlat executes each parameter set once on a bounded pool of
 // opts.parallelism() workers, preserving order. Each run gets a
 // distinct seed derived from its index so sweep points are independent
 // but reproducible. A worker pool (rather than one goroutine per point
 // gated on a semaphore) keeps goroutine count — and therefore stack
 // and scheduler footprint — flat even for multi-thousand-point sweeps.
+//
+// Cancelling opts.Context stops the feeder (no new runs start),
+// interrupts in-flight runs at their next event batch, and makes
+// runFlat return the context's error.
 func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
+	ctx := opts.ctx()
 	results := make([]*core.Results, len(params))
 	errs := make([]error, len(params))
 	work := make(chan int)
@@ -311,7 +347,6 @@ func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 		workers = len(params)
 	}
 	var wg sync.WaitGroup
-	var progressMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -324,7 +359,9 @@ func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 					errs[i] = err
 					continue
 				}
-				res, err := engine.Run()
+				engine.SetObserver(opts.Observer)
+				engine.SetMetrics(opts.Metrics)
+				res, err := engine.Run(ctx)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -339,11 +376,19 @@ func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 			}
 		}()
 	}
+feed:
 	for i := range params {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

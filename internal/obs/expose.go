@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): for each metric a # HELP line (when help text
+// is present), a # TYPE line, and its samples. Metrics appear in sorted
+// name order and numbers use strconv's shortest round-trip formatting,
+// so output for a fixed state is byte-stable. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b []byte
+	for _, ins := range r.sorted() {
+		if ins.help != "" {
+			b = append(b, "# HELP "...)
+			b = append(b, ins.name...)
+			b = append(b, ' ')
+			b = append(b, escapeHelp(ins.help)...)
+			b = append(b, '\n')
+		}
+		b = append(b, "# TYPE "...)
+		b = append(b, ins.name...)
+		b = append(b, ' ')
+		b = append(b, ins.kind.String()...)
+		b = append(b, '\n')
+		switch ins.kind {
+		case kindCounter:
+			b = append(b, ins.name...)
+			b = append(b, ' ')
+			b = strconv.AppendUint(b, ins.c.Value(), 10)
+			b = append(b, '\n')
+		case kindGauge:
+			b = append(b, ins.name...)
+			b = append(b, ' ')
+			b = appendFloat(b, ins.g.Value())
+			b = append(b, '\n')
+		case kindHistogram:
+			var cum uint64
+			for i := range ins.h.counts {
+				cum += ins.h.counts[i].Load()
+				b = append(b, ins.name...)
+				b = append(b, `_bucket{le="`...)
+				if i == len(ins.h.upper) {
+					b = append(b, "+Inf"...)
+				} else {
+					b = appendFloat(b, ins.h.upper[i])
+				}
+				b = append(b, `"} `...)
+				b = strconv.AppendUint(b, cum, 10)
+				b = append(b, '\n')
+			}
+			b = append(b, ins.name...)
+			b = append(b, "_sum "...)
+			b = appendFloat(b, ins.h.Sum())
+			b = append(b, '\n')
+			b = append(b, ins.name...)
+			b = append(b, "_count "...)
+			b = strconv.AppendUint(b, cum, 10)
+			b = append(b, '\n')
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendFloat formats a float the way Prometheus clients do: shortest
+// representation that round-trips, with +Inf/-Inf/NaN spelled out.
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition spec.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// BucketSnapshot is one cumulative histogram bucket in a Snapshot.
+type BucketSnapshot struct {
+	// LE is the bucket's inclusive upper bound; +Inf is the last bucket.
+	LE float64 `json:"le"`
+	// Count is the cumulative number of observations <= LE.
+	Count uint64 `json:"count"`
+}
+
+// MarshalJSON spells the +Inf bound as the string "+Inf" (JSON has no
+// infinity literal).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// HistogramSnapshot is a histogram's state in a Snapshot.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument's current value. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, ins := range r.sorted() {
+		switch ins.kind {
+		case kindCounter:
+			if s.Counters == nil {
+				s.Counters = make(map[string]uint64)
+			}
+			s.Counters[ins.name] = ins.c.Value()
+		case kindGauge:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]float64)
+			}
+			s.Gauges[ins.name] = ins.g.Value()
+		case kindHistogram:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			hs := HistogramSnapshot{Sum: ins.h.Sum()}
+			var cum uint64
+			for i := range ins.h.counts {
+				cum += ins.h.counts[i].Load()
+				le := math.Inf(1)
+				if i < len(ins.h.upper) {
+					le = ins.h.upper[i]
+				}
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: cum})
+			}
+			hs.Count = cum
+			s.Histograms[ins.name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,36 @@
+package obs
+
+// MemnetMetrics binds the in-memory network's packet-fate counters
+// (guess_memnet_*) and backs memnet's Stats snapshot. As with the
+// Stats struct, drop causes are disjoint per enqueued copy:
+//
+//	Sent + Duplicated == Delivered + Dropped + Blocked + QueueDrop
+type MemnetMetrics struct {
+	Sent       *Counter
+	Delivered  *Counter
+	Dropped    *Counter
+	Duplicated *Counter
+	Reordered  *Counter
+	Truncated  *Counter
+	Blocked    *Counter
+	QueueDrop  *Counter
+}
+
+// NewMemnetMetrics registers the memnet metric set in reg. A nil
+// registry is replaced with a private one, so the returned instruments
+// are always usable.
+func NewMemnetMetrics(reg *Registry) *MemnetMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &MemnetMetrics{
+		Sent:       reg.Counter("guess_memnet_sent_total", "Packets entering the network (one per WriteTo)."),
+		Delivered:  reg.Counter("guess_memnet_delivered_total", "Copies enqueued at their destination."),
+		Dropped:    reg.Counter("guess_memnet_dropped_total", "Packets lost to the Loss probability."),
+		Duplicated: reg.Counter("guess_memnet_duplicated_total", "Extra copies created by DupProb."),
+		Reordered:  reg.Counter("guess_memnet_reordered_total", "Packets held back by ReorderProb."),
+		Truncated:  reg.Counter("guess_memnet_truncated_total", "Packets cut down to the link MTU."),
+		Blocked:    reg.Counter("guess_memnet_blocked_total", "Packets dropped by blocked links or isolated endpoints."),
+		QueueDrop:  reg.Counter("guess_memnet_queue_drop_total", "Copies dropped at a full or closed destination queue."),
+	}
+}

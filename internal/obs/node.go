@@ -1,0 +1,62 @@
+package obs
+
+// NodeMetrics binds the live node's metric names (guess_node_*) and
+// backs the node's Stats counters, so one instrument set serves both
+// the Stats snapshot API and the /metrics endpoint. A node always owns
+// a NodeMetrics; with no registry attached the instruments live in a
+// private registry that is never exposed.
+//
+// See README.md, "Observability", for the metric name table.
+type NodeMetrics struct {
+	PingsSent     *Counter
+	PongsReceived *Counter
+	PingsReceived *Counter
+	QueriesServed *Counter
+	ProbesRefused *Counter
+	DeadEvictions *Counter
+
+	// Degradation counters: transport faults and retry behavior.
+	MalformedDropped *Counter
+	Retries          *Counter
+	BusyBackoffs     *Counter
+	LateReplies      *Counter
+	DupReplies       *Counter
+
+	// RTT is the real-clock probe round-trip distribution feeding the
+	// adaptive-timeout estimator.
+	RTT *Histogram
+
+	// CacheEntries tracks link-cache occupancy.
+	CacheEntries *Gauge
+}
+
+// RTTBuckets spans sub-millisecond loopback replies to multi-second
+// stragglers (real-clock seconds).
+var RTTBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// NewNodeMetrics registers the live-node metric set in reg. A nil
+// registry is replaced with a private one, so the returned instruments
+// are always usable.
+func NewNodeMetrics(reg *Registry) *NodeMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &NodeMetrics{
+		PingsSent:     reg.Counter("guess_node_pings_sent_total", "Maintenance pings sent."),
+		PongsReceived: reg.Counter("guess_node_pongs_received_total", "Pongs received and accepted."),
+		PingsReceived: reg.Counter("guess_node_pings_received_total", "Pings served for other peers."),
+		QueriesServed: reg.Counter("guess_node_queries_served_total", "Query probes served for other peers."),
+		ProbesRefused: reg.Counter("guess_node_probes_refused_total", "Probes refused with Busy (capacity limit)."),
+		DeadEvictions: reg.Counter("guess_node_dead_evictions_total", "Cache entries evicted after probe timeouts."),
+
+		MalformedDropped: reg.Counter("guess_node_malformed_dropped_total", "Datagrams dropped as malformed."),
+		Retries:          reg.Counter("guess_node_retries_total", "Probe retransmissions (attempts beyond the first)."),
+		BusyBackoffs:     reg.Counter("guess_node_busy_backoffs_total", "Busy replies absorbed by demotion instead of eviction."),
+		LateReplies:      reg.Counter("guess_node_late_replies_total", "Replies that arrived after their probe completed."),
+		DupReplies:       reg.Counter("guess_node_dup_replies_total", "Redundant copies of already-consumed replies."),
+
+		RTT: reg.Histogram("guess_node_rtt_seconds", "Real-clock probe round-trip time.", RTTBuckets),
+
+		CacheEntries: reg.Gauge("guess_node_cache_entries", "Current link-cache occupancy."),
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+// SimMetrics binds the simulator's standard metric names in a registry
+// and hands the engine pre-resolved instruments, so the hot path never
+// touches the registry lock. All counters cover the measurement window,
+// mirroring core.Results (so a metrics snapshot and the returned
+// Results agree); gauges track the live run state and move during
+// warmup too. Several engines may share one SimMetrics (sweeps do):
+// every instrument is atomic, and the counters then aggregate across
+// runs.
+//
+// See README.md, "Observability", for the metric name table.
+type SimMetrics struct {
+	Queries     *Counter
+	Satisfied   *Counter
+	Unsatisfied *Counter
+	Aborted     *Counter
+
+	Probes        *Counter
+	GoodProbes    *Counter
+	DeadProbes    *Counter
+	RefusedProbes *Counter
+
+	Pings     *Counter
+	DeadPings *Counter
+
+	Births *Counter
+	Deaths *Counter
+
+	CacheEvictions  *Counter
+	PoisonedEntries *Counter
+	Blacklists      *Counter
+
+	// QueryProbesHist and ResponseTime are per-completed-query
+	// distributions (probes sent; virtual seconds to completion).
+	QueryProbesHist *Histogram
+	ResponseTime    *Histogram
+
+	// SimTime is the engine's virtual clock; AvgCacheEntries and
+	// AvgLiveEntries are the latest cache-health sample.
+	SimTime         *Gauge
+	AvgCacheEntries *Gauge
+	AvgLiveEntries  *Gauge
+}
+
+// Default histogram buckets: probe counts are log-spaced over the
+// paper's observed range (a handful to thousands per query); response
+// times are virtual seconds from one probe round to many minutes.
+var (
+	QueryProbeBuckets   = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+	ResponseTimeBuckets = []float64{0.2, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600}
+)
+
+// NewSimMetrics registers the simulator metric set in reg. A nil
+// registry yields nil, which the engine treats as metrics-off.
+func NewSimMetrics(reg *Registry) *SimMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SimMetrics{
+		Queries:     reg.Counter("guess_sim_queries_total", "Completed counted queries."),
+		Satisfied:   reg.Counter("guess_sim_queries_satisfied_total", "Counted queries that reached NumDesiredResults."),
+		Unsatisfied: reg.Counter("guess_sim_queries_unsatisfied_total", "Counted queries that exhausted candidates unsatisfied."),
+		Aborted:     reg.Counter("guess_sim_queries_aborted_total", "Counted queries whose originator died or that outlived the run."),
+
+		Probes:        reg.Counter("guess_sim_probes_total", "Query probes sent by counted queries."),
+		GoodProbes:    reg.Counter("guess_sim_probes_good_total", "Probes answered by live peers."),
+		DeadProbes:    reg.Counter("guess_sim_probes_dead_total", "Probes wasted on dead addresses."),
+		RefusedProbes: reg.Counter("guess_sim_probes_refused_total", "Probes refused by overloaded peers."),
+
+		Pings:     reg.Counter("guess_sim_pings_total", "Maintenance pings sent in the measurement window."),
+		DeadPings: reg.Counter("guess_sim_pings_dead_total", "Maintenance pings that hit dead addresses."),
+
+		Births: reg.Counter("guess_sim_births_total", "Peer births (whole run)."),
+		Deaths: reg.Counter("guess_sim_deaths_total", "Peer deaths (whole run)."),
+
+		CacheEvictions:  reg.Counter("guess_sim_cache_evictions_total", "Link-cache entries displaced by cache replacement."),
+		PoisonedEntries: reg.Counter("guess_sim_poisoned_entries_total", "Pong entries accepted from malicious suppliers."),
+		Blacklists:      reg.Counter("guess_sim_blacklists_total", "Poison-detection convictions."),
+
+		QueryProbesHist: reg.Histogram("guess_sim_query_probes", "Probes sent per completed counted query.", QueryProbeBuckets),
+		ResponseTime:    reg.Histogram("guess_sim_query_response_seconds", "Virtual seconds from query start to completion.", ResponseTimeBuckets),
+
+		SimTime:         reg.Gauge("guess_sim_time_seconds", "Current virtual simulation time."),
+		AvgCacheEntries: reg.Gauge("guess_sim_cache_entries_avg", "Latest sample: mean link-cache entries held per peer."),
+		AvgLiveEntries:  reg.Gauge("guess_sim_cache_live_entries_avg", "Latest sample: mean live link-cache entries per peer."),
+	}
+}

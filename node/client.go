@@ -50,7 +50,7 @@ func (n *Node) pingOnce() {
 		return
 	}
 
-	n.stats.pingsSent.Add(1)
+	n.met.PingsSent.Inc()
 	ping := &wire.Ping{MsgID: n.msgID.Add(1), NumFiles: uint32(len(n.cfg.Files))}
 	reply, outcome := n.transact(context.Background(), ping, target, nil)
 	switch outcome {
@@ -59,7 +59,7 @@ func (n *Node) pingOnce() {
 		n.evictDead(id)
 	case txReply:
 		if pong, ok := reply.(*wire.Pong); ok {
-			n.stats.pongsReceived.Add(1)
+			n.met.PongsReceived.Inc()
 			n.mu.Lock()
 			n.link.Touch(id, n.now())
 			delete(n.busyStreak, id)
@@ -86,6 +86,7 @@ func (n *Node) absorbPong(entries []wire.PongEntry) {
 			Direct:   false,
 		})
 	}
+	n.syncCacheGauge()
 }
 
 // txOutcome classifies one transact run.
@@ -139,7 +140,7 @@ func (n *Node) transact(ctx context.Context, req wire.Message, target netip.Addr
 		if attempt >= n.cfg.MaxProbeAttempts {
 			return nil, txTimeout
 		}
-		n.stats.retries.Add(1)
+		n.met.Retries.Inc()
 		if qs != nil {
 			qs.Retries++
 		}
@@ -189,9 +190,10 @@ func (n *Node) attemptTimeout() time.Duration {
 }
 
 // observeRTT feeds one unambiguous RTT sample into the Jacobson/Karels
-// estimator behind adaptive timeouts.
+// estimator behind adaptive timeouts, and into the RTT histogram.
 func (n *Node) observeRTT(rtt time.Duration) {
 	s := rtt.Seconds()
+	n.met.RTT.Observe(s)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.srtt == 0 {
@@ -208,8 +210,9 @@ func (n *Node) evictDead(id cache.PeerID) {
 	n.link.Remove(id)
 	delete(n.busyUntil, id)
 	delete(n.busyStreak, id)
+	n.syncCacheGauge()
 	n.mu.Unlock()
-	n.stats.deadEvictions.Add(1)
+	n.met.DeadEvictions.Inc()
 }
 
 // suppressedLocked reports whether a peer is currently demoted by Busy
@@ -234,6 +237,7 @@ func (n *Node) demoteBusy(id cache.PeerID) {
 	if n.cfg.BusyBackoff <= 0 {
 		n.mu.Lock()
 		n.link.Remove(id)
+		n.syncCacheGauge()
 		n.mu.Unlock()
 		return
 	}
@@ -244,6 +248,7 @@ func (n *Node) demoteBusy(id cache.PeerID) {
 		n.link.Remove(id)
 		delete(n.busyUntil, id)
 		delete(n.busyStreak, id)
+		n.syncCacheGauge()
 		n.mu.Unlock()
 		return
 	}
@@ -253,7 +258,7 @@ func (n *Node) demoteBusy(id cache.PeerID) {
 	}
 	n.busyUntil[id] = time.Now().Add(d)
 	n.mu.Unlock()
-	n.stats.busyBackoffs.Add(1)
+	n.met.BusyBackoffs.Inc()
 }
 
 // Query runs a GUESS search: it serially probes peers from the link
@@ -379,6 +384,7 @@ func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID
 			}
 			policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, entry)
 		}
+		n.syncCacheGauge()
 		n.mu.Unlock()
 		hits := make([]Hit, 0, len(m.Results))
 		for _, name := range m.Results {
@@ -399,7 +405,7 @@ func (n *Node) PingPeer(ctx context.Context, target netip.AddrPort) (bool, error
 		return false, errClosed
 	default:
 	}
-	n.stats.pingsSent.Add(1)
+	n.met.PingsSent.Inc()
 	ping := &wire.Ping{MsgID: n.msgID.Add(1), NumFiles: uint32(len(n.cfg.Files))}
 	reply, outcome := n.transact(ctx, ping, target, nil)
 	switch outcome {
@@ -415,7 +421,7 @@ func (n *Node) PingPeer(ctx context.Context, target netip.AddrPort) (bool, error
 	if !ok {
 		return false, nil
 	}
-	n.stats.pongsReceived.Add(1)
+	n.met.PongsReceived.Inc()
 	n.mu.Lock()
 	id := n.idFor(target)
 	n.link.Touch(id, n.now())

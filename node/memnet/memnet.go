@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/simrng"
 )
 
@@ -100,11 +101,9 @@ type Network struct {
 	rngs     map[linkKey]*simrng.RNG
 	isolated map[netip.AddrPort]bool
 
-	stats struct {
-		sent, delivered, dropped, duplicated atomic.Int64
-		reordered, truncated, blocked        atomic.Int64
-		queueDrop                            atomic.Int64
-	}
+	// met backs both the Stats snapshot and an attached registry
+	// (AttachMetrics); guarded by mu for swap, instruments are atomic.
+	met *obs.MemnetMetrics
 	// inFlight counts copies scheduled (possibly on a delay timer) but
 	// not yet enqueued or dropped; WaitIdle polls it.
 	inFlight atomic.Int64
@@ -119,7 +118,18 @@ func New(seed uint64) *Network {
 		links:     make(map[linkKey]LinkProfile),
 		rngs:      make(map[linkKey]*simrng.RNG),
 		isolated:  make(map[netip.AddrPort]bool),
+		met:       obs.NewMemnetMetrics(nil),
 	}
+}
+
+// AttachMetrics re-homes the network's guess_memnet_* counters in reg
+// for exposition alongside node metrics. Call it before traffic
+// starts: counts accumulated beforehand stay in the private registry
+// the network was created with.
+func (n *Network) AttachMetrics(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.met = obs.NewMemnetMetrics(reg)
 }
 
 // SetLoss sets the default packet drop probability (0 = reliable).
@@ -205,17 +215,22 @@ func (n *Network) Partition(addr netip.AddrPort) {
 	delete(n.endpoints, addr)
 }
 
-// Stats returns a snapshot of the network's packet accounting.
+// Stats returns a snapshot of the network's packet accounting. The
+// same instruments feed an attached metrics registry, so Stats and a
+// metrics scrape always agree.
 func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	met := n.met
+	n.mu.Unlock()
 	return Stats{
-		Sent:       n.stats.sent.Load(),
-		Delivered:  n.stats.delivered.Load(),
-		Dropped:    n.stats.dropped.Load(),
-		Duplicated: n.stats.duplicated.Load(),
-		Reordered:  n.stats.reordered.Load(),
-		Truncated:  n.stats.truncated.Load(),
-		Blocked:    n.stats.blocked.Load(),
-		QueueDrop:  n.stats.queueDrop.Load(),
+		Sent:       int64(met.Sent.Value()),
+		Delivered:  int64(met.Delivered.Value()),
+		Dropped:    int64(met.Dropped.Value()),
+		Duplicated: int64(met.Duplicated.Value()),
+		Reordered:  int64(met.Reordered.Value()),
+		Truncated:  int64(met.Truncated.Value()),
+		Blocked:    int64(met.Blocked.Value()),
+		QueueDrop:  int64(met.QueueDrop.Value()),
 	}
 }
 
@@ -258,30 +273,31 @@ func (n *Network) rngLocked(from, to netip.AddrPort) *simrng.RNG {
 
 // deliver routes a packet, applying the link's fault profile.
 func (n *Network) deliver(from, to netip.AddrPort, data []byte) {
-	n.stats.sent.Add(1)
 	n.mu.Lock()
+	met := n.met
+	met.Sent.Inc()
 	dst, ok := n.endpoints[to]
 	if !ok || n.isolated[from] || n.isolated[to] {
 		n.mu.Unlock()
-		n.stats.blocked.Add(1)
+		met.Blocked.Inc()
 		return
 	}
 	p := n.profileLocked(from, to)
 	if p.Blocked {
 		n.mu.Unlock()
-		n.stats.blocked.Add(1)
+		met.Blocked.Inc()
 		return
 	}
 	r := n.rngLocked(from, to)
 	if p.Loss > 0 && r.Bool(p.Loss) {
 		n.mu.Unlock()
-		n.stats.dropped.Add(1)
+		met.Dropped.Inc()
 		return
 	}
 	copies := 1
 	if p.DupProb > 0 && r.Bool(p.DupProb) {
 		copies = 2
-		n.stats.duplicated.Add(1)
+		met.Duplicated.Inc()
 	}
 	delay := p.Latency
 	if p.Jitter != nil {
@@ -295,11 +311,11 @@ func (n *Network) deliver(from, to netip.AddrPort, data []byte) {
 			hold = 4*p.Latency + time.Millisecond
 		}
 		delay += hold
-		n.stats.reordered.Add(1)
+		met.Reordered.Inc()
 	}
 	if p.MTU > 0 && len(data) > p.MTU {
 		data = data[:p.MTU]
-		n.stats.truncated.Add(1)
+		met.Truncated.Inc()
 	}
 	n.mu.Unlock()
 
@@ -308,15 +324,15 @@ func (n *Network) deliver(from, to netip.AddrPort, data []byte) {
 		defer n.inFlight.Add(-1)
 		select {
 		case <-dst.done:
-			n.stats.queueDrop.Add(1)
+			met.QueueDrop.Inc()
 			return
 		default:
 		}
 		select {
 		case dst.queue <- packet{from: from, data: cp}:
-			n.stats.delivered.Add(1)
+			met.Delivered.Inc()
 		default: // queue full: drop, like a real NIC
-			n.stats.queueDrop.Add(1)
+			met.QueueDrop.Inc()
 		}
 	}
 	n.inFlight.Add(int64(copies))

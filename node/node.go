@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/simrng"
 	"repro/internal/wire"
@@ -85,6 +86,12 @@ type Config struct {
 	Seed uint64
 	// Logf, when non-nil, receives debug logging.
 	Logf func(format string, args ...any)
+
+	// Metrics, when non-nil, receives the node's guess_node_* metric
+	// set (counters, RTT histogram, cache gauge) for exposition; the
+	// Stats snapshot reads the same instruments. Nil keeps the metrics
+	// in a private, unexposed registry.
+	Metrics *obs.Registry
 }
 
 // Default returns a workable live-node configuration mirroring the
@@ -264,17 +271,9 @@ type Node struct {
 
 	msgID atomic.Uint64
 
-	stats struct {
-		pingsSent, pongsReceived     atomic.Int64
-		pingsReceived, queriesServed atomic.Int64
-		probesRefused                atomic.Int64
-		deadEvictions                atomic.Int64
-		malformedDropped             atomic.Int64
-		retries                      atomic.Int64
-		busyBackoffs                 atomic.Int64
-		lateReplies                  atomic.Int64
-		dupReplies                   atomic.Int64
-	}
+	// met backs both the Stats snapshot and the Config.Metrics
+	// registry; always non-nil.
+	met *obs.NodeMetrics
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -303,17 +302,18 @@ func New(conn net.PacketConn, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:     cfg,
-		conn:    conn,
-		start:   time.Now(),
-		rng:     simrng.New(cfg.Seed),
-		link:    cache.NewLinkCache(cfg.CacheSize),
+		cfg:        cfg,
+		conn:       conn,
+		start:      time.Now(),
+		rng:        simrng.New(cfg.Seed),
+		link:       cache.NewLinkCache(cfg.CacheSize),
 		ids:        make(map[netip.AddrPort]cache.PeerID),
 		addrs:      make(map[cache.PeerID]netip.AddrPort),
 		next:       1,
 		busyUntil:  make(map[cache.PeerID]time.Time),
 		busyStreak: make(map[cache.PeerID]int),
 		pending:    make(map[uint64]chan wire.Message),
+		met:        obs.NewNodeMetrics(cfg.Metrics),
 		closed:     make(chan struct{}),
 	}
 	n.msgID.Store(cfg.Seed<<32 | 1)
@@ -339,20 +339,22 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. The same
+// instruments feed the Config.Metrics registry, so Stats and a
+// metrics scrape always agree.
 func (n *Node) Stats() Stats {
 	return Stats{
-		PingsSent:        n.stats.pingsSent.Load(),
-		PongsReceived:    n.stats.pongsReceived.Load(),
-		PingsReceived:    n.stats.pingsReceived.Load(),
-		QueriesServed:    n.stats.queriesServed.Load(),
-		ProbesRefused:    n.stats.probesRefused.Load(),
-		DeadEvictions:    n.stats.deadEvictions.Load(),
-		MalformedDropped: n.stats.malformedDropped.Load(),
-		Retries:          n.stats.retries.Load(),
-		BusyBackoffs:     n.stats.busyBackoffs.Load(),
-		LateReplies:      n.stats.lateReplies.Load(),
-		DupReplies:       n.stats.dupReplies.Load(),
+		PingsSent:        int64(n.met.PingsSent.Value()),
+		PongsReceived:    int64(n.met.PongsReceived.Value()),
+		PingsReceived:    int64(n.met.PingsReceived.Value()),
+		QueriesServed:    int64(n.met.QueriesServed.Value()),
+		ProbesRefused:    int64(n.met.ProbesRefused.Value()),
+		DeadEvictions:    int64(n.met.DeadEvictions.Value()),
+		MalformedDropped: int64(n.met.MalformedDropped.Value()),
+		Retries:          int64(n.met.Retries.Value()),
+		BusyBackoffs:     int64(n.met.BusyBackoffs.Value()),
+		LateReplies:      int64(n.met.LateReplies.Value()),
+		DupReplies:       int64(n.met.DupReplies.Value()),
 	}
 }
 
@@ -388,6 +390,13 @@ func (n *Node) AddPeer(addr netip.AddrPort, numFiles uint32) {
 		NumFiles: int32(clampFiles(numFiles)),
 		Direct:   true,
 	})
+	n.syncCacheGauge()
+}
+
+// syncCacheGauge refreshes the link-cache occupancy gauge after a
+// mutation; callers hold n.mu.
+func (n *Node) syncCacheGauge() {
+	n.met.CacheEntries.Set(float64(n.link.Len()))
 }
 
 // now is seconds since node start (the TS clock).

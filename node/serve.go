@@ -28,7 +28,7 @@ func (n *Node) serveLoop() {
 		}
 		msg, err := wire.Decode(buf[:count])
 		if err != nil {
-			n.stats.malformedDropped.Add(1)
+			n.met.MalformedDropped.Inc()
 			continue
 		}
 		n.dispatch(msg, addrPortOf(from))
@@ -39,7 +39,7 @@ func (n *Node) serveLoop() {
 func (n *Node) dispatch(msg wire.Message, from netip.AddrPort) {
 	switch m := msg.(type) {
 	case *wire.Ping:
-		n.stats.pingsReceived.Add(1)
+		n.met.PingsReceived.Inc()
 		n.handlePing(m, from)
 	case *wire.Query:
 		n.handleQuery(m, from)
@@ -65,7 +65,7 @@ func (n *Node) handleQuery(m *wire.Query, from netip.AddrPort) {
 	n.mu.Lock()
 	if n.overloaded() {
 		n.mu.Unlock()
-		n.stats.probesRefused.Add(1)
+		n.met.ProbesRefused.Inc()
 		if err := n.send(&wire.Busy{MsgID: m.MsgID}, from); err != nil {
 			n.logf("busy to %v: %v", from, err)
 		}
@@ -74,7 +74,7 @@ func (n *Node) handleQuery(m *wire.Query, from netip.AddrPort) {
 	n.introduce(from, m.NumFiles)
 	entries := n.pongEntries(n.cfg.QueryPong, from)
 	n.mu.Unlock()
-	n.stats.queriesServed.Add(1)
+	n.met.QueriesServed.Inc()
 
 	var results []string
 	for _, name := range n.cfg.Files {
@@ -122,6 +122,7 @@ func (n *Node) introduce(from netip.AddrPort, numFiles uint32) {
 		NumFiles: int32(clampFiles(numFiles)),
 		Direct:   true,
 	})
+	n.syncCacheGauge()
 }
 
 // pongEntries builds a pong under the given policy, excluding the
@@ -161,13 +162,13 @@ func (n *Node) deliver(msg wire.Message) {
 	ch, ok := n.pending[msg.ID()]
 	n.pendingMu.Unlock()
 	if !ok {
-		n.stats.lateReplies.Add(1)
+		n.met.LateReplies.Inc()
 		return
 	}
 	select {
 	case ch <- msg:
 	default:
-		n.stats.dupReplies.Add(1)
+		n.met.DupReplies.Inc()
 	}
 }
 
