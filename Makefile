@@ -35,10 +35,12 @@ test-chaos:
 race:
 	$(GO) test -race -short -timeout 15m ./node/... ./internal/experiments
 
-# Ten seconds of coverage-guided fuzzing over the wire decoder: cheap
-# insurance that no datagram can panic a live node.
+# Ten seconds of coverage-guided fuzzing each over the wire decoder
+# and the snapshot decoder: cheap insurance that neither a datagram
+# nor an on-disk snapshot can panic a live node.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./node
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -89,7 +91,9 @@ obs-smoke:
 	  { echo "obs-smoke: missing guess_node_rtt_seconds +Inf bucket" >&2; exit 1; }; \
 	curl -fsS http://127.0.0.1:9464/metrics.json | grep -q '"guess_node_cache_entries"' || \
 	  { echo "obs-smoke: /metrics.json missing guess_node_cache_entries" >&2; exit 1; }; \
-	echo "obs-smoke: /metrics and /metrics.json OK"
+	curl -fsS http://127.0.0.1:9464/healthz | grep -q '"status":"ok"' || \
+	  { echo "obs-smoke: /healthz not ok" >&2; exit 1; }; \
+	echo "obs-smoke: /metrics, /metrics.json and /healthz OK"
 
 # Regenerate every paper table/figure quickly (small networks).
 experiments-quick:

@@ -48,6 +48,12 @@ func run(args []string) error {
 	adaptive := fs.Bool("adaptive-timeout", false, "derive per-attempt deadlines from an RTT EWMA")
 	busyBackoff := fs.Duration("busy-backoff", 0, "suppress Busy peers instead of evicting them (0 = evict on first Busy)")
 	capacity := fs.Int("capacity", 0, "max probes/second served (0 = unlimited)")
+	admission := fs.String("admission", "flat", "overload controller: flat (paper's window) or fair (shed heaviest requesters first)")
+	breaker := fs.Int("breaker", 0, "consecutive probe timeouts that open a peer's circuit breaker (0 = evict on first timed-out probe)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open-breaker suppression before the half-open trial")
+	drainTimeout := fs.Duration("drain-timeout", 0, "graceful drain window on shutdown (0 = close immediately)")
+	snapshot := fs.String("snapshot", "", "path for periodic link-cache snapshots, restored on startup (empty = disabled)")
+	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second, "period between link-cache snapshots")
 	queryProbe := fs.String("query-probe", "Random", "QueryProbe policy")
 	queryFlag := fs.String("query", "", "run one query and exit")
 	desired := fs.Int("desired", 1, "results wanted for -query")
@@ -62,6 +68,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var admissionMode node.AdmissionMode
+	switch strings.ToLower(strings.TrimSpace(*admission)) {
+	case "", "flat":
+		admissionMode = node.AdmissionFlat
+	case "fair":
+		admissionMode = node.AdmissionFair
+	default:
+		return fmt.Errorf("bad -admission %q: want flat or fair", *admission)
+	}
 	reg := guess.NewMetricsRegistry()
 	cfg := node.Config{
 		CacheSize:          *cacheSize,
@@ -72,6 +87,12 @@ func run(args []string) error {
 		AdaptiveTimeout:    *adaptive,
 		BusyBackoff:        *busyBackoff,
 		MaxProbesPerSecond: *capacity,
+		Admission:          admissionMode,
+		BreakerThreshold:   *breaker,
+		BreakerCooldown:    *breakerCooldown,
+		DrainTimeout:       *drainTimeout,
+		SnapshotPath:       *snapshot,
+		SnapshotInterval:   *snapshotInterval,
 		QueryProbe:         sel,
 		Metrics:            reg,
 	}
@@ -112,13 +133,30 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "guess-node: /metrics.json:", err)
 			}
 		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			status, code := "ok", http.StatusOK
+			if n.Draining() {
+				// 503 tells load balancers and peers to stop routing
+				// here while the drain finishes.
+				status, code = "draining", http.StatusServiceUnavailable
+			}
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"status":%q,"uptime_seconds":%.3f,"cache_entries":%d,"suspects_pending":%d}`+"\n",
+				status, n.Uptime().Seconds(), n.CacheLen(), n.Suspects())
+		})
 		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "guess-node: metrics server:", err)
 			}
 		}()
-		defer srv.Close()
+		// Drain the node while /healthz can still answer 503 (Close is
+		// idempotent, so the earlier deferred Close is a no-op).
+		defer func() {
+			n.Close()
+			srv.Close()
+		}()
 		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
 	}
 

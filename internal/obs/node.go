@@ -22,6 +22,31 @@ type NodeMetrics struct {
 	LateReplies      *Counter
 	DupReplies       *Counter
 
+	// Admission-control counters: load shed by tier (pings are shed
+	// before queries; cache writes are skipped under pressure; drain
+	// sheds everything).
+	ShedPings       *Counter
+	ShedQueries     *Counter
+	ShedDrain       *Counter
+	CacheWriteSkips *Counter
+
+	// Circuit-breaker state on the client path.
+	BreakerOpens *Counter
+	BreakerOpen  *Gauge
+
+	// Snapshot (crash-recovery) accounting.
+	SnapshotWrites    *Counter
+	SnapshotErrors    *Counter
+	SnapshotRejected  *Counter
+	SnapshotRestored  *Counter
+	SnapshotVerified  *Counter
+	SnapshotDiscarded *Counter
+	SnapshotLastUnix  *Gauge
+
+	// Draining is 1 from the moment Close begins until the process
+	// exits (health probes read it as "do not route to me").
+	Draining *Gauge
+
 	// RTT is the real-clock probe round-trip distribution feeding the
 	// adaptive-timeout estimator.
 	RTT *Histogram
@@ -54,6 +79,24 @@ func NewNodeMetrics(reg *Registry) *NodeMetrics {
 		BusyBackoffs:     reg.Counter("guess_node_busy_backoffs_total", "Busy replies absorbed by demotion instead of eviction."),
 		LateReplies:      reg.Counter("guess_node_late_replies_total", "Replies that arrived after their probe completed."),
 		DupReplies:       reg.Counter("guess_node_dup_replies_total", "Redundant copies of already-consumed replies."),
+
+		ShedPings:       reg.Counter("guess_node_shed_pings_total", "Pings refused under admission pressure (tier 1)."),
+		ShedQueries:     reg.Counter("guess_node_shed_queries_total", "Queries refused by fair admission (tier 2)."),
+		ShedDrain:       reg.Counter("guess_node_shed_drain_total", "Probes refused while draining for shutdown."),
+		CacheWriteSkips: reg.Counter("guess_node_cache_write_skips_total", "Cache writes skipped under admission pressure."),
+
+		BreakerOpens: reg.Counter("guess_node_breaker_opens_total", "Circuit breakers tripped open by consecutive timeouts."),
+		BreakerOpen:  reg.Gauge("guess_node_breaker_open", "Peers currently behind an open circuit breaker."),
+
+		SnapshotWrites:    reg.Counter("guess_node_snapshot_writes_total", "Link-cache snapshots written."),
+		SnapshotErrors:    reg.Counter("guess_node_snapshot_errors_total", "Snapshot write failures."),
+		SnapshotRejected:  reg.Counter("guess_node_snapshot_rejected_total", "Startup snapshots rejected as corrupt."),
+		SnapshotRestored:  reg.Counter("guess_node_snapshot_restored_total", "Entries restored from a startup snapshot (suspect until verified)."),
+		SnapshotVerified:  reg.Counter("guess_node_snapshot_verified_total", "Restored entries verified live by ping and installed."),
+		SnapshotDiscarded: reg.Counter("guess_node_snapshot_discarded_total", "Restored entries discarded after failing verification."),
+		SnapshotLastUnix:  reg.Gauge("guess_node_snapshot_last_unixtime", "Unix time of the last successful snapshot write."),
+
+		Draining: reg.Gauge("guess_node_draining", "1 while the node is draining for shutdown."),
 
 		RTT: reg.Histogram("guess_node_rtt_seconds", "Real-clock probe round-trip time.", RTTBuckets),
 

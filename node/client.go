@@ -21,7 +21,7 @@ func (n *Node) pingLoop() {
 	defer ticker.Stop()
 	for {
 		select {
-		case <-n.closed:
+		case <-n.closing:
 			return
 		case <-ticker.C:
 			n.pingOnce()
@@ -55,14 +55,14 @@ func (n *Node) pingOnce() {
 	reply, outcome := n.transact(context.Background(), ping, target, nil)
 	switch outcome {
 	case txTimeout:
-		// Presumed dead after every attempt: evict.
-		n.evictDead(id)
+		// Every attempt unanswered: breaker or eviction.
+		n.peerTimedOut(id)
 	case txReply:
 		if pong, ok := reply.(*wire.Pong); ok {
 			n.met.PongsReceived.Inc()
 			n.mu.Lock()
 			n.link.Touch(id, n.now())
-			delete(n.busyStreak, id)
+			n.health.onSuccess(id)
 			n.absorbPong(pong.Entries)
 			n.mu.Unlock()
 		}
@@ -86,6 +86,8 @@ func (n *Node) absorbPong(entries []wire.PongEntry) {
 			Direct:   false,
 		})
 	}
+	n.health.pruneTo(n.link)
+	n.syncBreakerGauge()
 	n.syncCacheGauge()
 }
 
@@ -125,7 +127,7 @@ func (n *Node) transact(ctx context.Context, req wire.Message, target netip.Addr
 			case <-ctx.Done():
 				timer.Stop()
 				return nil, txAborted
-			case <-n.closed:
+			case <-n.closing:
 				timer.Stop()
 				return nil, txAborted
 			case reply := <-replies:
@@ -159,7 +161,7 @@ func (n *Node) sleep(ctx context.Context, d time.Duration) bool {
 	select {
 	case <-ctx.Done():
 		return false
-	case <-n.closed:
+	case <-n.closing:
 		return false
 	case <-timer.C:
 		return true
@@ -204,29 +206,32 @@ func (n *Node) observeRTT(rtt time.Duration) {
 	n.srtt = 0.875*n.srtt + 0.125*s
 }
 
-// evictDead removes a peer that exhausted every probe attempt.
-func (n *Node) evictDead(id cache.PeerID) {
+// peerTimedOut handles a peer whose probe exhausted every attempt:
+// with the breaker disabled the peer is evicted outright (the
+// protocol's presumed-dead default); with it enabled the timeout feeds
+// the breaker, which suppresses the peer after BreakerThreshold
+// consecutive timeouts and evicts only when the half-open trial fails.
+func (n *Node) peerTimedOut(id cache.PeerID) {
 	n.mu.Lock()
-	n.link.Remove(id)
-	delete(n.busyUntil, id)
-	delete(n.busyStreak, id)
-	n.syncCacheGauge()
+	evict, opened := n.health.onTimeout(id, time.Now())
+	if evict {
+		n.link.Remove(id)
+		n.syncCacheGauge()
+	}
+	n.syncBreakerGauge()
 	n.mu.Unlock()
-	n.met.DeadEvictions.Inc()
+	if opened {
+		n.met.BreakerOpens.Inc()
+	}
+	if evict {
+		n.met.DeadEvictions.Inc()
+	}
 }
 
-// suppressedLocked reports whether a peer is currently demoted by Busy
-// backoff, clearing expired deadlines; callers hold n.mu.
+// suppressedLocked reports whether a peer should sit out probe
+// selection (Busy demotion or an open breaker); callers hold n.mu.
 func (n *Node) suppressedLocked(id cache.PeerID) bool {
-	until, ok := n.busyUntil[id]
-	if !ok {
-		return false
-	}
-	if time.Now().Before(until) {
-		return true
-	}
-	delete(n.busyUntil, id)
-	return false
+	return n.health.suppressed(id, time.Now())
 }
 
 // demoteBusy applies Busy-aware demotion: with BusyBackoff disabled
@@ -234,31 +239,17 @@ func (n *Node) suppressedLocked(id cache.PeerID) bool {
 // no-backoff default); otherwise it is suppressed with exponential
 // backoff and evicted only after BusyEvictAfter consecutive refusals.
 func (n *Node) demoteBusy(id cache.PeerID) {
-	if n.cfg.BusyBackoff <= 0 {
-		n.mu.Lock()
-		n.link.Remove(id)
-		n.syncCacheGauge()
-		n.mu.Unlock()
-		return
-	}
 	n.mu.Lock()
-	n.busyStreak[id]++
-	streak := n.busyStreak[id]
-	if streak >= n.cfg.BusyEvictAfter {
+	evict, demoted := n.health.onBusy(id, time.Now())
+	if evict {
 		n.link.Remove(id)
-		delete(n.busyUntil, id)
-		delete(n.busyStreak, id)
 		n.syncCacheGauge()
-		n.mu.Unlock()
-		return
 	}
-	d := n.cfg.BusyBackoff << (streak - 1)
-	if d > n.cfg.BusyBackoffMax {
-		d = n.cfg.BusyBackoffMax
-	}
-	n.busyUntil[id] = time.Now().Add(d)
+	n.syncBreakerGauge()
 	n.mu.Unlock()
-	n.met.BusyBackoffs.Inc()
+	if demoted {
+		n.met.BusyBackoffs.Inc()
+	}
 }
 
 // Query runs a GUESS search: it serially probes peers from the link
@@ -275,7 +266,7 @@ func (n *Node) Query(ctx context.Context, keyword string, desired int) ([]Hit, Q
 		return nil, stats, fmt.Errorf("node: desired results %d outside [1,255]", desired)
 	}
 	select {
-	case <-n.closed:
+	case <-n.closing:
 		return nil, stats, errClosed
 	default:
 	}
@@ -299,7 +290,7 @@ func (n *Node) Query(ctx context.Context, keyword string, desired int) ([]Hit, Q
 		select {
 		case <-ctx.Done():
 			return hits, stats, nil
-		case <-n.closed:
+		case <-n.closing:
 			return hits, stats, nil
 		default:
 		}
@@ -346,10 +337,10 @@ func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID
 	case txAborted:
 		return nil
 	case txTimeout:
-		// Every attempt unanswered: presumed dead, evicted per the
-		// protocol.
+		// Every attempt unanswered: presumed dead for this query;
+		// eviction vs breaker is the health layer's call.
 		stats.Dead++
-		n.evictDead(id)
+		n.peerTimedOut(id)
 		return nil
 	}
 
@@ -363,7 +354,7 @@ func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID
 		n.mu.Lock()
 		n.link.Touch(id, n.now())
 		n.link.SetNumRes(id, int32(len(m.Results)))
-		delete(n.busyStreak, id)
+		n.health.onSuccess(id)
 		// Grow the query cache and the link cache from the
 		// piggy-backed pong.
 		self := n.Addr()
@@ -384,6 +375,8 @@ func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID
 			}
 			policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, entry)
 		}
+		n.health.pruneTo(n.link)
+		n.syncBreakerGauge()
 		n.syncCacheGauge()
 		n.mu.Unlock()
 		hits := make([]Hit, 0, len(m.Results))
@@ -401,7 +394,7 @@ func (n *Node) probe(ctx context.Context, target netip.AddrPort, id cache.PeerID
 // answered.
 func (n *Node) PingPeer(ctx context.Context, target netip.AddrPort) (bool, error) {
 	select {
-	case <-n.closed:
+	case <-n.closing:
 		return false, errClosed
 	default:
 	}
@@ -425,6 +418,7 @@ func (n *Node) PingPeer(ctx context.Context, target netip.AddrPort) (bool, error
 	n.mu.Lock()
 	id := n.idFor(target)
 	n.link.Touch(id, n.now())
+	n.health.onSuccess(id)
 	n.absorbPong(pong.Entries)
 	n.mu.Unlock()
 	return true, nil

@@ -1,0 +1,134 @@
+package node
+
+// Graceful-drain scenarios on memnet: Close with DrainTimeout must
+// answer in-flight probes (with Busy, so requesters fail over fast
+// instead of waiting out a timeout), honor the drain deadline under
+// sustained traffic, and keep the zero-value immediate-close default.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+	"repro/node/memnet"
+)
+
+// TestDrainAnswersInFlightProbe: a probe already in flight when Close
+// begins still gets a reply before the socket goes away.
+func TestDrainAnswersInFlightProbe(t *testing.T) {
+	leakCheck(t)
+	nw := memnet.New(31)
+	nw.SetDefaultProfile(memnet.LinkProfile{Latency: 25 * time.Millisecond})
+	server := startMemNode(t, nw, Config{
+		Files:        []string{"parting.gift"},
+		DrainTimeout: 600 * time.Millisecond,
+		PingInterval: time.Hour,
+		Seed:         1,
+	})
+	client := nw.Listen()
+	t.Cleanup(func() { client.Close() })
+
+	// The query departs, then Close begins while it is still on the
+	// wire (25ms of latency vs the 5ms head start).
+	q := &wire.Query{MsgID: 7777, Desired: 1, Keyword: "parting"}
+	out := make(chan probeOutcome, 1)
+	go func() { out <- rawProbe(client, server.Addr(), q, 400*time.Millisecond) }()
+	time.Sleep(5 * time.Millisecond)
+
+	closeStart := time.Now()
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closeTook := time.Since(closeStart)
+
+	if got := <-out; got != probeRefused {
+		t.Fatalf("in-flight probe outcome %d, want refused (Busy)", got)
+	}
+	if server.Stats().ShedDrain != 1 {
+		t.Fatalf("ShedDrain = %d, want 1", server.Stats().ShedDrain)
+	}
+	// Close waited for the in-flight probe (>= one-way latency) but not
+	// past the drain deadline.
+	if closeTook < 25*time.Millisecond {
+		t.Fatalf("Close returned in %v, before the in-flight probe could land", closeTook)
+	}
+	if closeTook > time.Second {
+		t.Fatalf("Close took %v, past the 600ms drain deadline", closeTook)
+	}
+	if !server.Draining() {
+		t.Fatal("closed node does not report draining")
+	}
+	if _, _, err := server.Query(context.Background(), "x", 1); err == nil {
+		t.Fatal("Query succeeded on a draining node")
+	}
+}
+
+// TestDrainDeadlineUnderSustainedTraffic: a peer that never stops
+// sending must not be able to hold Close open past DrainTimeout.
+func TestDrainDeadlineUnderSustainedTraffic(t *testing.T) {
+	leakCheck(t)
+	nw := memnet.New(32)
+	server := startMemNode(t, nw, Config{
+		DrainTimeout: 200 * time.Millisecond,
+		PingInterval: time.Hour,
+		Seed:         2,
+	})
+	flood := nw.Listen()
+	t.Cleanup(func() { flood.Close() })
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pkt, err := wire.Encode(&wire.Ping{MsgID: i})
+			if err != nil {
+				return
+			}
+			flood.WriteTo(pkt, addrOf(server.Addr()))
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let traffic flow
+	closeStart := time.Now()
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closeTook := time.Since(closeStart)
+	close(stop)
+	<-done
+	if closeTook < 150*time.Millisecond {
+		t.Fatalf("Close returned in %v despite constant traffic; deadline not honored", closeTook)
+	}
+	if closeTook > time.Second {
+		t.Fatalf("Close took %v, far past the 200ms drain deadline", closeTook)
+	}
+	if server.Stats().ShedDrain == 0 {
+		t.Fatal("no probes were refused during the drain")
+	}
+}
+
+// TestCloseImmediateByDefault: DrainTimeout 0 keeps the original
+// semantics — Close returns promptly without a drain window.
+func TestCloseImmediateByDefault(t *testing.T) {
+	leakCheck(t)
+	nw := memnet.New(33)
+	server := startMemNode(t, nw, Config{PingInterval: time.Hour, Seed: 3})
+	closeStart := time.Now()
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(closeStart); took > 100*time.Millisecond {
+		t.Fatalf("default Close took %v, want immediate", took)
+	}
+	// Idempotent, including concurrently after the fact.
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

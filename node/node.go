@@ -71,12 +71,43 @@ type Config struct {
 	// BusyEvictAfter is the consecutive-Busy count that evicts a
 	// demoted peer (only meaningful when BusyBackoff > 0). Default 3.
 	BusyEvictAfter int
+	// BreakerThreshold enables the client-path circuit breaker: after
+	// this many consecutive probe timeouts a peer's breaker opens
+	// (suppressed from selection) instead of the peer being evicted
+	// outright; after BreakerCooldown one half-open trial probe decides
+	// between closing the breaker and eviction. Zero keeps the paper's
+	// default: evict after the first fully timed-out probe.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker suppresses its peer
+	// before the half-open trial. Default 2s.
+	BreakerCooldown time.Duration
 	// PongSize is the number of addresses per pong.
 	PongSize int
 	// IntroProb is the introduction-protocol probability.
 	IntroProb float64
 	// MaxProbesPerSecond is the Busy-refusal capacity (0 = unlimited).
 	MaxProbesPerSecond int
+	// Admission selects the overload controller enforcing
+	// MaxProbesPerSecond: AdmissionFlat (default) is the paper's flat
+	// window; AdmissionFair sheds the heaviest requesters first with
+	// tiered degradation (see AdmissionMode).
+	Admission AdmissionMode
+	// AdmissionWindow is the fair controller's accounting window
+	// (capacity scales with it). Default 1s; the flat window is always
+	// exactly one second regardless.
+	AdmissionWindow time.Duration
+	// DrainTimeout bounds the graceful drain on Close: for up to this
+	// long the node keeps reading, answering late-arriving probes with
+	// Busy and flushing in-flight replies, before the socket closes.
+	// Zero (the default) closes immediately.
+	DrainTimeout time.Duration
+	// SnapshotPath, when set, enables crash recovery: the link cache
+	// is periodically serialized there (atomic, checksummed) and
+	// restored on startup, with restored entries verified by ping
+	// before any policy can see them.
+	SnapshotPath string
+	// SnapshotInterval is the period between snapshots. Default 30s.
+	SnapshotInterval time.Duration
 
 	// Policies, as in the paper.
 	QueryProbe, QueryPong, PingProbe, PingPong policy.Selection
@@ -106,6 +137,9 @@ func Default() Config {
 		RetryBackoffMax:  time.Second,
 		BusyBackoffMax:   5 * time.Second,
 		BusyEvictAfter:   3,
+		BreakerCooldown:  2 * time.Second,
+		AdmissionWindow:  time.Second,
+		SnapshotInterval: 30 * time.Second,
 		PongSize:         5,
 		IntroProb:        0.1,
 		QueryProbe:       policy.SelRandom,
@@ -143,6 +177,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BusyEvictAfter == 0 {
 		c.BusyEvictAfter = d.BusyEvictAfter
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.AdmissionWindow == 0 {
+		c.AdmissionWindow = d.AdmissionWindow
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = d.SnapshotInterval
 	}
 	if c.PongSize == 0 {
 		c.PongSize = d.PongSize
@@ -192,6 +235,18 @@ func (c Config) validate() error {
 		return fmt.Errorf("node: BusyBackoffMax %v below BusyBackoff %v", c.BusyBackoffMax, c.BusyBackoff)
 	case c.BusyEvictAfter < 1:
 		return fmt.Errorf("node: BusyEvictAfter must be >= 1")
+	case c.BreakerThreshold < 0 || c.BreakerThreshold > 64:
+		return fmt.Errorf("node: BreakerThreshold %d outside [0,64]", c.BreakerThreshold)
+	case c.BreakerCooldown <= 0:
+		return fmt.Errorf("node: BreakerCooldown must be positive")
+	case !c.Admission.Valid():
+		return fmt.Errorf("node: invalid admission mode %d", c.Admission)
+	case c.AdmissionWindow <= 0:
+		return fmt.Errorf("node: AdmissionWindow must be positive")
+	case c.DrainTimeout < 0:
+		return fmt.Errorf("node: DrainTimeout must be non-negative")
+	case c.SnapshotInterval <= 0:
+		return fmt.Errorf("node: SnapshotInterval must be positive")
 	case c.PongSize < 0 || c.PongSize > wire.MaxPongEntries:
 		return fmt.Errorf("node: PongSize %d outside [0, %d]", c.PongSize, wire.MaxPongEntries)
 	case c.IntroProb < 0 || c.IntroProb > 1:
@@ -222,6 +277,19 @@ type Stats struct {
 	// DupReplies counts redundant copies of a reply already consumed
 	// by its probe (duplicating networks).
 	DupReplies int64
+	// ShedPings/ShedQueries/ShedDrain break ProbesRefused down by
+	// degradation tier under fair admission and drain (flat-window
+	// refusals appear only in ProbesRefused).
+	ShedPings, ShedQueries, ShedDrain int64
+	// CacheWriteSkips counts cache writes skipped under admission
+	// pressure.
+	CacheWriteSkips int64
+	// BreakerOpens counts circuit breakers tripped by consecutive
+	// probe timeouts.
+	BreakerOpens int64
+	// SnapshotWrites/SnapshotRestored/SnapshotVerified account for the
+	// crash-recovery snapshot lifecycle.
+	SnapshotWrites, SnapshotRestored, SnapshotVerified int64
 }
 
 // Hit is one query result.
@@ -255,29 +323,46 @@ type Node struct {
 	ids   map[netip.AddrPort]cache.PeerID
 	addrs map[cache.PeerID]netip.AddrPort
 	next  cache.PeerID
-	// load window for Busy refusals
-	winStart int64
-	winCount int
+	// adm decides which inbound probes are served (flat window or fair
+	// SFB-style shedding); guarded by mu.
+	adm admitter
+	// keySalt salts requester hashing for the fair admitter.
+	keySalt uint64
 	// RTT estimator for adaptive timeouts (seconds; srtt == 0 means no
 	// sample yet)
 	srtt, rttvar float64
-	// Busy demotion state: suppressed-until deadlines and consecutive
-	// refusal streaks
-	busyUntil  map[cache.PeerID]time.Time
-	busyStreak map[cache.PeerID]int
+	// health owns per-peer demotion and circuit-breaker state; guarded
+	// by mu.
+	health *peerHealth
+	// suspects are snapshot-restored entries awaiting verification;
+	// suspectsLeft counts the ones still unverified (healthz surfaces
+	// it). Only touched before the verifier starts and under mu after.
+	suspects     []snapEntry
+	suspectsLeft int
 
 	pendingMu sync.Mutex
 	pending   map[uint64]chan wire.Message
 
 	msgID atomic.Uint64
 
+	// lastInbound is the unix-nano arrival time of the most recent
+	// datagram; the drain loop uses it to finish early once the
+	// network goes quiet.
+	lastInbound atomic.Int64
+
 	// met backs both the Stats snapshot and the Config.Metrics
 	// registry; always non-nil.
 	met *obs.NodeMetrics
 
 	closeOnce sync.Once
-	closed    chan struct{}
-	wg        sync.WaitGroup
+	// closing is closed when Close begins: the node stops admitting
+	// work (client calls abort, inbound probes get Busy) but the
+	// socket stays open so in-flight replies still flush.
+	closing chan struct{}
+	// closed is closed when the drain window ends and the socket is
+	// about to close; send refuses after it.
+	closed chan struct{}
+	wg     sync.WaitGroup
 }
 
 // Listen binds a UDP socket (e.g. "127.0.0.1:0") and starts the node.
@@ -302,24 +387,43 @@ func New(conn net.PacketConn, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:        cfg,
-		conn:       conn,
-		start:      time.Now(),
-		rng:        simrng.New(cfg.Seed),
-		link:       cache.NewLinkCache(cfg.CacheSize),
-		ids:        make(map[netip.AddrPort]cache.PeerID),
-		addrs:      make(map[cache.PeerID]netip.AddrPort),
-		next:       1,
-		busyUntil:  make(map[cache.PeerID]time.Time),
-		busyStreak: make(map[cache.PeerID]int),
-		pending:    make(map[uint64]chan wire.Message),
-		met:        obs.NewNodeMetrics(cfg.Metrics),
-		closed:     make(chan struct{}),
+		cfg:     cfg,
+		conn:    conn,
+		start:   time.Now(),
+		rng:     simrng.New(cfg.Seed),
+		link:    cache.NewLinkCache(cfg.CacheSize),
+		ids:     make(map[netip.AddrPort]cache.PeerID),
+		addrs:   make(map[cache.PeerID]netip.AddrPort),
+		next:    1,
+		keySalt: cfg.Seed*0x9e3779b97f4a7c15 + 1,
+		health:  newPeerHealth(cfg),
+		pending: make(map[uint64]chan wire.Message),
+		met:     obs.NewNodeMetrics(cfg.Metrics),
+		closing: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	switch cfg.Admission {
+	case AdmissionFair:
+		n.adm = newFairAdmitter(cfg.MaxProbesPerSecond, cfg.AdmissionWindow)
+	default:
+		n.adm = &flatAdmitter{capacity: cfg.MaxProbesPerSecond}
 	}
 	n.msgID.Store(cfg.Seed<<32 | 1)
+	if cfg.SnapshotPath != "" {
+		n.restoreSnapshot()
+	}
 	n.wg.Add(2)
 	go n.serveLoop()
 	go n.pingLoop()
+	if cfg.SnapshotPath != "" {
+		n.wg.Add(1)
+		go n.snapshotLoop()
+		if len(n.suspects) > 0 {
+			n.suspectsLeft = len(n.suspects)
+			n.wg.Add(1)
+			go n.verifySuspects(n.suspects)
+		}
+	}
 	return n, nil
 }
 
@@ -328,15 +432,74 @@ func (n *Node) Addr() netip.AddrPort {
 	return addrPortOf(n.conn.LocalAddr())
 }
 
-// Close stops the node's goroutines and closes its socket. It is
-// idempotent.
+// Close stops the node. With DrainTimeout > 0 it drains first: the
+// node stops admitting work (client calls abort, new probes get Busy)
+// but keeps the socket open so in-flight probes already being served
+// can flush their replies, until the network goes quiet or the drain
+// deadline passes. A final snapshot is written if snapshots are
+// enabled. Close is idempotent and safe to call concurrently.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
+		close(n.closing)
+		n.met.Draining.Set(1)
+		n.drain()
+		if n.cfg.SnapshotPath != "" {
+			n.writeSnapshot()
+		}
 		close(n.closed)
 		n.conn.Close()
 	})
 	n.wg.Wait()
 	return nil
+}
+
+// drain holds the socket open for up to DrainTimeout, exiting early
+// once no datagram has arrived for a short grace period.
+func (n *Node) drain() {
+	d := n.cfg.DrainTimeout
+	if d <= 0 {
+		return
+	}
+	grace := d / 4
+	if grace < 10*time.Millisecond {
+		grace = 10 * time.Millisecond
+	}
+	if grace > 250*time.Millisecond {
+		grace = 250 * time.Millisecond
+	}
+	start := time.Now()
+	deadline := start.Add(d)
+	for time.Now().Before(deadline) {
+		last := time.Unix(0, n.lastInbound.Load())
+		if last.Before(start) {
+			last = start
+		}
+		if time.Since(last) >= grace {
+			return
+		}
+		time.Sleep(grace / 4)
+	}
+}
+
+// Draining reports whether Close has begun.
+func (n *Node) Draining() bool {
+	select {
+	case <-n.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// Uptime is the wall-clock time since the node started.
+func (n *Node) Uptime() time.Duration { return time.Since(n.start) }
+
+// Suspects returns how many snapshot-restored entries still await
+// ping verification (0 once recovery settles).
+func (n *Node) Suspects() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.suspectsLeft
 }
 
 // Stats returns a snapshot of the node's counters. The same
@@ -355,6 +518,14 @@ func (n *Node) Stats() Stats {
 		BusyBackoffs:     int64(n.met.BusyBackoffs.Value()),
 		LateReplies:      int64(n.met.LateReplies.Value()),
 		DupReplies:       int64(n.met.DupReplies.Value()),
+		ShedPings:        int64(n.met.ShedPings.Value()),
+		ShedQueries:      int64(n.met.ShedQueries.Value()),
+		ShedDrain:        int64(n.met.ShedDrain.Value()),
+		CacheWriteSkips:  int64(n.met.CacheWriteSkips.Value()),
+		BreakerOpens:     int64(n.met.BreakerOpens.Value()),
+		SnapshotWrites:   int64(n.met.SnapshotWrites.Value()),
+		SnapshotRestored: int64(n.met.SnapshotRestored.Value()),
+		SnapshotVerified: int64(n.met.SnapshotVerified.Value()),
 	}
 }
 
@@ -384,7 +555,7 @@ func (n *Node) AddPeer(addr netip.AddrPort, numFiles uint32) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	id := n.idFor(addr)
-	policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, cache.Entry{
+	n.insertLocked(cache.Entry{
 		Addr:     id,
 		TS:       n.now(),
 		NumFiles: int32(clampFiles(numFiles)),
@@ -397,6 +568,11 @@ func (n *Node) AddPeer(addr netip.AddrPort, numFiles uint32) {
 // mutation; callers hold n.mu.
 func (n *Node) syncCacheGauge() {
 	n.met.CacheEntries.Set(float64(n.link.Len()))
+}
+
+// syncBreakerGauge refreshes the open-breaker gauge; callers hold n.mu.
+func (n *Node) syncBreakerGauge() {
+	n.met.BreakerOpen.Set(float64(n.health.open()))
 }
 
 // now is seconds since node start (the TS clock).

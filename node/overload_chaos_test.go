@@ -1,0 +1,243 @@
+package node
+
+// The flash-crowd battery: a server at a fixed capacity under ~8x
+// offered load from flooding requesters, with light requesters probing
+// within their fair share. Fair admission must keep the light
+// requesters' service near-perfect while the flat window collapses for
+// everyone. Requesters are raw memnet endpoints (not Nodes) so the
+// test controls demand precisely and observes every refusal.
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+	"repro/node/memnet"
+)
+
+// probeOutcome classifies one raw probe exchange.
+type probeOutcome int
+
+const (
+	probeLost probeOutcome = iota
+	probeServed
+	probeRefused
+)
+
+// rawProbe sends req from conn and waits for its correlated reply.
+// Errors read as probeLost so it is safe off the test goroutine.
+func rawProbe(conn *memnet.Conn, server netip.AddrPort,
+	req wire.Message, timeout time.Duration) probeOutcome {
+	pkt, err := wire.Encode(req)
+	if err != nil {
+		return probeLost
+	}
+	if _, err := conn.WriteTo(pkt, addrOf(server)); err != nil {
+		return probeLost
+	}
+	buf := make([]byte, wire.MaxPacket)
+	deadline := time.Now().Add(timeout)
+	conn.SetReadDeadline(deadline)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			return probeLost // deadline: no reply at all
+		}
+		msg, err := wire.Decode(buf[:n])
+		if err != nil || msg.ID() != req.ID() {
+			continue // stale reply from an earlier probe
+		}
+		switch msg.(type) {
+		case *wire.Busy:
+			return probeRefused
+		case *wire.QueryHit, *wire.Pong:
+			return probeServed
+		default:
+			return probeLost
+		}
+	}
+}
+
+func addrOf(ap netip.AddrPort) net.Addr { return net.UDPAddrFromAddrPort(ap) }
+
+// flashCrowdResult is one mode's outcome.
+type flashCrowdResult struct {
+	goodSent, goodServed int
+	stats                Stats
+}
+
+// runFlashCrowd drives the scenario against one admission mode: a
+// server at 120 probes/s, two floods pushing ~500 queries/s each, and
+// two light requesters at ~25 queries/s each (well inside their fair
+// share). Only light-requester probes sent after the warmup count.
+func runFlashCrowd(t *testing.T, mode AdmissionMode) flashCrowdResult {
+	t.Helper()
+	nw := memnet.New(2024 + uint64(mode))
+	nw.SetDefaultProfile(memnet.LinkProfile{Latency: 200 * time.Microsecond})
+	server := startMemNode(t, nw, Config{
+		Files:              []string{"hotfile.iso"},
+		MaxProbesPerSecond: 120,
+		Admission:          mode,
+		AdmissionWindow:    100 * time.Millisecond,
+		PingInterval:       time.Hour,
+		Seed:               1,
+	})
+	target := server.Addr()
+
+	const (
+		warmup  = 300 * time.Millisecond
+		measure = 1200 * time.Millisecond
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var msgID atomic.Uint64
+	msgID.Store(1 << 40) // clear of the server's own ID space
+
+	// Two floods: fire-and-forget queries every 2ms, replies drained by
+	// the refusals the server sends back (never read).
+	for i := 0; i < 2; i++ {
+		conn := nw.Listen()
+		t.Cleanup(func() { conn.Close() })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					q := &wire.Query{MsgID: msgID.Add(1), Desired: 1, Keyword: "hotfile"}
+					pkt, err := wire.Encode(q)
+					if err != nil {
+						return
+					}
+					conn.WriteTo(pkt, addrOf(target))
+				}
+			}
+		}()
+	}
+	// A background pinger exercises tier-1 shedding during overload.
+	pinger := nw.Listen()
+	t.Cleanup(func() { pinger.Close() })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				p := &wire.Ping{MsgID: msgID.Add(1)}
+				pkt, err := wire.Encode(p)
+				if err != nil {
+					return
+				}
+				pinger.WriteTo(pkt, addrOf(target))
+			}
+		}
+	}()
+
+	// Two light requesters: one query every 40ms, counting outcomes
+	// after the warmup.
+	results := make([]flashCrowdResult, 2)
+	startAt := time.Now()
+	for i := 0; i < 2; i++ {
+		conn := nw.Listen()
+		t.Cleanup(func() { conn.Close() })
+		wg.Add(1)
+		go func(r *flashCrowdResult) {
+			defer wg.Done()
+			for time.Since(startAt) < warmup+measure {
+				inMeasure := time.Since(startAt) >= warmup
+				q := &wire.Query{MsgID: msgID.Add(1), Desired: 1, Keyword: "hotfile"}
+				out := rawProbe(conn, target, q, 30*time.Millisecond)
+				if inMeasure {
+					r.goodSent++
+					if out == probeServed {
+						r.goodServed++
+					}
+				}
+				time.Sleep(40 * time.Millisecond)
+			}
+		}(&results[i])
+	}
+
+	time.Sleep(warmup + measure)
+	close(stop)
+	wg.Wait()
+	if !nw.WaitIdle(2 * time.Second) {
+		t.Fatal("network did not go idle after the flash crowd")
+	}
+	sum := flashCrowdResult{stats: server.Stats()}
+	for _, r := range results {
+		sum.goodSent += r.goodSent
+		sum.goodServed += r.goodServed
+	}
+	if sum.goodSent < 20 {
+		t.Fatalf("light requesters sent only %d probes; pacing broken", sum.goodSent)
+	}
+	return sum
+}
+
+// TestFlashCrowdFairProtectsInCapacityRequesters is the tentpole
+// acceptance test: at ~8x capacity, fair admission keeps in-capacity
+// requesters at >= 90% success, sheds by tier with full accounting,
+// and skips cache writes under pressure — while the flat window
+// collapses for the same requesters.
+func TestFlashCrowdFairProtectsInCapacityRequesters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flash crowd runs ~3s of wall clock")
+	}
+	fair := runFlashCrowd(t, AdmissionFair)
+	flat := runFlashCrowd(t, AdmissionFlat)
+
+	fairRate := float64(fair.goodServed) / float64(fair.goodSent)
+	flatRate := float64(flat.goodServed) / float64(flat.goodSent)
+	t.Logf("in-capacity success: fair %d/%d (%.0f%%), flat %d/%d (%.0f%%)",
+		fair.goodServed, fair.goodSent, 100*fairRate,
+		flat.goodServed, flat.goodSent, 100*flatRate)
+
+	if fairRate < 0.9 {
+		t.Errorf("fair admission: in-capacity success %.2f below 0.9", fairRate)
+	}
+	if flatRate > 0.6 {
+		t.Errorf("flat admission did not collapse: in-capacity success %.2f", flatRate)
+	}
+	if fairRate <= flatRate {
+		t.Errorf("fair (%.2f) not better than flat (%.2f)", fairRate, flatRate)
+	}
+
+	// Fair mode accounts every refusal by tier and degrades in order:
+	// pings shed, queries shed, cache writes skipped.
+	fs := fair.stats
+	if fs.ShedQueries == 0 {
+		t.Error("fair mode shed no queries under 8x overload")
+	}
+	if fs.ShedPings == 0 {
+		t.Error("fair mode shed no pings (tier 1) under pressure")
+	}
+	if fs.CacheWriteSkips == 0 {
+		t.Error("fair mode skipped no cache writes under pressure")
+	}
+	if got, want := fs.ProbesRefused, fs.ShedPings+fs.ShedQueries+fs.ShedDrain; got != want {
+		t.Errorf("fair refusals unaccounted: ProbesRefused=%d, tiers sum to %d", got, want)
+	}
+
+	// Flat mode's counters stay byte-identical to the original node:
+	// refusals exist but no tier counters move.
+	fl := flat.stats
+	if fl.ProbesRefused == 0 {
+		t.Error("flat mode refused nothing under 8x overload")
+	}
+	if fl.ShedPings != 0 || fl.ShedQueries != 0 || fl.ShedDrain != 0 || fl.CacheWriteSkips != 0 {
+		t.Errorf("flat mode moved tier counters: %+v", fl)
+	}
+}

@@ -26,6 +26,7 @@ func (n *Node) serveLoop() {
 			n.logf("read error: %v", err)
 			continue
 		}
+		n.lastInbound.Store(time.Now().UnixNano())
 		msg, err := wire.Decode(buf[:count])
 		if err != nil {
 			n.met.MalformedDropped.Inc()
@@ -35,23 +36,63 @@ func (n *Node) serveLoop() {
 	}
 }
 
-// dispatch handles one inbound message.
+// dispatch handles one inbound message. While draining, new probes are
+// refused with Busy (so requesters fail over fast) but replies still
+// flow to any probe served before the drain began.
 func (n *Node) dispatch(msg wire.Message, from netip.AddrPort) {
 	switch m := msg.(type) {
 	case *wire.Ping:
 		n.met.PingsReceived.Inc()
+		if n.Draining() {
+			n.shed(shedDrain, m.MsgID, from)
+			return
+		}
 		n.handlePing(m, from)
 	case *wire.Query:
+		if n.Draining() {
+			n.shed(shedDrain, m.MsgID, from)
+			return
+		}
 		n.handleQuery(m, from)
 	case *wire.Pong, *wire.QueryHit, *wire.Busy:
 		n.deliver(msg)
 	}
 }
 
-// handlePing applies introduction and replies with a pong.
+// shed refuses a probe with Busy, accounting the refusal by tier.
+// Flat-window refusals (shedFlat) count only in ProbesRefused,
+// preserving the original counter semantics.
+func (n *Node) shed(tier shedTier, msgID uint64, from netip.AddrPort) {
+	n.met.ProbesRefused.Inc()
+	switch tier {
+	case shedPing:
+		n.met.ShedPings.Inc()
+	case shedQuery:
+		n.met.ShedQueries.Inc()
+	case shedDrain:
+		n.met.ShedDrain.Inc()
+	}
+	if err := n.send(&wire.Busy{MsgID: msgID}, from); err != nil {
+		n.logf("busy to %v: %v", from, err)
+	}
+}
+
+// handlePing applies admission and introduction and replies with a
+// pong. Only the fair controller ever sheds pings (tier 1, under
+// pressure); the flat default admits every ping, as the paper does.
 func (n *Node) handlePing(m *wire.Ping, from netip.AddrPort) {
 	n.mu.Lock()
-	n.introduce(from, m.NumFiles)
+	v := n.adm.admit(requesterKey(from, n.keySalt), probePing, time.Now())
+	if !v.ok {
+		n.mu.Unlock()
+		n.shed(v.tier, m.MsgID, from)
+		return
+	}
+	if v.skipCacheWrite {
+		n.met.CacheWriteSkips.Inc()
+	} else {
+		n.introduce(from, m.NumFiles)
+	}
 	entries := n.pongEntries(n.cfg.PingPong, from)
 	n.mu.Unlock()
 	if err := n.send(&wire.Pong{MsgID: m.MsgID, Entries: entries}, from); err != nil {
@@ -59,19 +100,22 @@ func (n *Node) handlePing(m *wire.Ping, from netip.AddrPort) {
 	}
 }
 
-// handleQuery checks capacity, matches shared files and replies with a
-// QueryHit carrying the piggy-backed pong — or Busy when overloaded.
+// handleQuery applies admission, matches shared files and replies with
+// a QueryHit carrying the piggy-backed pong — or Busy when the
+// admission controller sheds the probe.
 func (n *Node) handleQuery(m *wire.Query, from netip.AddrPort) {
 	n.mu.Lock()
-	if n.overloaded() {
+	v := n.adm.admit(requesterKey(from, n.keySalt), probeQuery, time.Now())
+	if !v.ok {
 		n.mu.Unlock()
-		n.met.ProbesRefused.Inc()
-		if err := n.send(&wire.Busy{MsgID: m.MsgID}, from); err != nil {
-			n.logf("busy to %v: %v", from, err)
-		}
+		n.shed(v.tier, m.MsgID, from)
 		return
 	}
-	n.introduce(from, m.NumFiles)
+	if v.skipCacheWrite {
+		n.met.CacheWriteSkips.Inc()
+	} else {
+		n.introduce(from, m.NumFiles)
+	}
 	entries := n.pongEntries(n.cfg.QueryPong, from)
 	n.mu.Unlock()
 	n.met.QueriesServed.Inc()
@@ -91,20 +135,6 @@ func (n *Node) handleQuery(m *wire.Query, from netip.AddrPort) {
 	}
 }
 
-// overloaded applies the MaxProbesPerSecond window; callers hold n.mu.
-func (n *Node) overloaded() bool {
-	if n.cfg.MaxProbesPerSecond <= 0 {
-		return false
-	}
-	sec := time.Now().Unix()
-	if sec != n.winStart {
-		n.winStart = sec
-		n.winCount = 0
-	}
-	n.winCount++
-	return n.winCount > n.cfg.MaxProbesPerSecond
-}
-
 // introduce applies the introduction protocol for an interaction
 // initiated by from; callers hold n.mu.
 func (n *Node) introduce(from netip.AddrPort, numFiles uint32) {
@@ -116,7 +146,7 @@ func (n *Node) introduce(from netip.AddrPort, numFiles uint32) {
 	if !n.rng.Bool(n.cfg.IntroProb) {
 		return
 	}
-	policy.Insert(n.rng, n.cfg.CacheReplacement, n.link, cache.Entry{
+	n.insertLocked(cache.Entry{
 		Addr:     id,
 		TS:       n.now(),
 		NumFiles: int32(clampFiles(numFiles)),
