@@ -1,0 +1,163 @@
+// Command guess-lint is the repo's determinism and observability
+// linter: a multichecker for the analyzers under internal/analysis
+// (detrand, maporder, rngstream, obsname). See the README "Static
+// analysis" section for what each analyzer enforces and how to
+// suppress a finding with a reasoned //lint: annotation.
+//
+// Standalone usage (what `make lint` runs):
+//
+//	guess-lint ./...
+//
+// It also speaks enough of the `go vet -vettool` protocol to run as a
+// vet tool:
+//
+//	go build -o /tmp/guess-lint ./cmd/guess-lint
+//	go vet -vettool=/tmp/guess-lint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error (standalone);
+// in vettool mode findings exit 2, matching vet convention.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/obsname"
+	"repro/internal/analysis/rngstream"
+)
+
+// suite returns a fresh analyzer suite. obsname is stateful (its
+// duplicate-registration check spans packages), so every run gets its
+// own instance.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		rngstream.Analyzer,
+		obsname.New(""),
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			// The go command fingerprints vet tools for its build cache.
+			fmt.Fprintln(stdout, "guess-lint version v1")
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			// The go command asks which analyzer flags the tool accepts.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case filepath.Ext(args[0]) == ".cfg":
+			return runVet(args[0], stderr)
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, p := range patterns {
+		if len(p) > 0 && p[0] == '-' {
+			fmt.Fprintf(stderr, "usage: guess-lint [packages]\n")
+			return 2
+		}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "guess-lint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, suite())
+	if err != nil {
+		fmt.Fprintf(stderr, "guess-lint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "guess-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the fields of the JSON file the go command hands a
+// vettool for each package (x/tools unitchecker.Config).
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet handles one `go vet -vettool` invocation: type-check the
+// package described by cfgFile against the export data the go command
+// prepared, run the suite, and report findings on stderr.
+func runVet(cfgFile string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "guess-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "guess-lint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// The go command always expects the facts output file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("guess-lint has no facts"), 0o666); err != nil {
+			fmt.Fprintf(stderr, "guess-lint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := analysis.LoadVet(basePath(cfg.ImportPath), cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "guess-lint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, suite())
+	if err != nil {
+		fmt.Fprintf(stderr, "guess-lint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// basePath strips the " [pkg.test]" variant suffix go list appends to
+// test-augmented packages.
+func basePath(importPath string) string {
+	for i := 0; i+1 < len(importPath); i++ {
+		if importPath[i] == ' ' && importPath[i+1] == '[' {
+			return importPath[:i]
+		}
+	}
+	return importPath
+}

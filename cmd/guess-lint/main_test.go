@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean is the regression gate for the determinism and
+// observability invariants: guess-lint over the whole module must exit
+// clean. A new time.Now in a simulation package, an unsorted map range
+// on a Results-producing path, a stray metric name — any of these
+// turns up here as a test failure with the finding in the output.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint loads every package; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"repro/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("guess-lint repro/... exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() > 0 {
+		t.Fatalf("guess-lint repro/... reported findings:\n%s", stdout.String())
+	}
+}
+
+// TestVersionAndFlagsProtocol checks the two query invocations the go
+// command makes before using a -vettool.
+func TestVersionAndFlagsProtocol(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "guess-lint version ") {
+		t.Fatalf("-V=full output %q lacks the name-version form the go command fingerprints", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, stderr.String())
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("-flags output %q, want []", stdout.String())
+	}
+}
+
+// TestUsageError checks that unknown flags are a usage error, not a
+// package pattern.
+func TestUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nonsense", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,208 @@
+// Package analysis is the scaffolding for guess-lint, the repo's
+// custom static-analysis suite. It is a minimal, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, diagnostics) so the analyzers under
+// internal/analysis/... can be written in the standard shape without
+// pulling a module dependency into an otherwise stdlib-only repo; if
+// x/tools ever becomes available the analyzers port mechanically.
+//
+// The suite machine-enforces the conventions that keep seeded
+// simulation runs bit-deterministic (see DESIGN.md, "Determinism
+// rules"): no wall clock or global math/rand in simulation packages
+// (detrand), no map-iteration order reaching observable output
+// (maporder), simrng named-stream discipline (rngstream), and literal,
+// documented, once-registered obs metric names (obsname).
+//
+// Findings are suppressed with an explicit, reasoned annotation:
+//
+//	//lint:<directive> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — a bare directive does not suppress and is itself
+// reported — so every exception to a determinism rule records why it
+// is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	Name string // short lowercase identifier, e.g. "detrand"
+	Doc  string // one-paragraph description of what it enforces
+	Run  func(*Pass) error
+}
+
+// A Finding is one diagnostic produced by an analyzer, resolved to a
+// file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// A Pass carries one type-checked package to an analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Path      string // canonical import path (test-variant suffix stripped)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report      func(Finding)
+	suppression map[string][]*directive // file name -> directives in the file
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	name     string // e.g. "maporder-ok"
+	reason   string // text after the directive; must be non-empty
+	line     int
+	reported bool // reason-missing complaint already emitted
+}
+
+// Suppressed reports whether a finding at pos is suppressed by a
+// //lint:<name> <reason> comment on the same line or the line directly
+// above. A directive with no reason never suppresses; instead the
+// missing reason is reported (once) so suppressions cannot silently
+// rot into unexplained exceptions.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	for _, d := range p.suppression[position.Filename] {
+		if d.name != name || (d.line != position.Line && d.line != position.Line-1) {
+			continue
+		}
+		if d.reason == "" {
+			if !d.reported {
+				d.reported = true
+				p.report(Finding{
+					Analyzer: p.Analyzer.Name,
+					Pos:      position,
+					Message:  fmt.Sprintf("suppression //lint:%s needs a reason explaining why the exception is safe", name),
+				})
+			}
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// parseDirectives extracts //lint: comments from a file, keyed for
+// same-line / line-above lookup.
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(text, " ")
+			out = append(out, &directive{
+				name:   name,
+				reason: strings.TrimSpace(reason),
+				line:   fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return out
+}
+
+// deterministicPkgs are the packages whose behavior must be a pure
+// function of Params.Seed: the simulation engine and every substrate
+// it draws on, plus the observability layer whose exposition must stay
+// byte-stable. Wall-clock time, global RNGs, and map-iteration order
+// reaching output are forbidden here. node/, cmd/, and examples/ are
+// exempt: a live peer legitimately reads the wall clock.
+// internal/simrng is also exempt — it is the RNG these rules point
+// everyone else at.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/core":     true,
+	"repro/internal/policy":   true,
+	"repro/internal/cache":    true,
+	"repro/internal/eventq":   true,
+	"repro/internal/dist":     true,
+	"repro/internal/lifetime": true,
+	"repro/internal/content":  true,
+	"repro/internal/workload": true,
+	"repro/internal/overlay":  true,
+	"repro/internal/gnutella": true,
+	"repro/internal/obs":      true,
+}
+
+// IsDeterministic reports whether the import path names a package
+// bound by the determinism rules. External test packages ("foo_test")
+// inherit their subject package's obligations, because golden-file
+// tests are exactly where order instability becomes a flaky diff.
+func IsDeterministic(path string) bool {
+	return deterministicPkgs[strings.TrimSuffix(path, "_test")]
+}
+
+// Run applies each analyzer to each package and returns the combined
+// findings sorted by position then analyzer, so output is stable for
+// golden comparisons and CI logs.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		suppression := make(map[string][]*directive)
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			suppression[name] = parseDirectives(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Path:        pkg.Path,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.TypesInfo,
+				suppression: suppression,
+				report:      func(f Finding) { findings = append(findings, f) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

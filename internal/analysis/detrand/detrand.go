@@ -1,0 +1,117 @@
+// Package detrand implements the guess-lint analyzer that keeps
+// nondeterministic inputs — the wall clock and ambient RNGs — out of
+// the simulation packages.
+//
+// A seeded run is only reproducible if every input is a function of
+// Params.Seed. One time.Now() in a policy, or one draw from the
+// auto-seeded math/rand globals, silently desynchronizes runs in a way
+// no unit test catches until a golden file flakes. Inside the
+// deterministic packages (see analysis.IsDeterministic) this analyzer
+// forbids:
+//
+//   - wall-clock reads and timers: time.Now, time.Since, time.Until,
+//     time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker,
+//     time.AfterFunc (simulations use eventq's virtual clock; types
+//     like time.Duration remain fine);
+//   - the global math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Shuffle, ...), which share hidden auto-seeded state;
+//     explicitly seeded local generators (rand.New(rand.NewSource(s)))
+//     are allowed, though simrng streams are the house idiom;
+//   - any use of crypto/rand, which is nondeterministic by design.
+//
+// Escape hatch: //lint:wallclock-ok <reason> on the offending line or
+// the line above.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Suppress is the //lint: directive that silences this analyzer.
+const Suppress = "wallclock-ok"
+
+// wallClock are the time package functions that read the real clock or
+// schedule on it.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// build explicitly seeded local state rather than drawing from the
+// hidden globals.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock time and ambient RNGs in deterministic simulation packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClock[sel.Sel.Name] && !pass.Suppressed(sel.Pos(), Suppress) {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock, which desynchronizes seeded runs; use the event queue's virtual time, or annotate //lint:%s <reason>",
+						sel.Sel.Name, Suppress)
+				}
+			case "math/rand", "math/rand/v2":
+				if isGlobalRandFunc(pass, sel) && !pass.Suppressed(sel.Pos(), Suppress) {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s draws from hidden auto-seeded state; draw from a named simrng stream (or a locally seeded generator), or annotate //lint:%s <reason>",
+						pkgName.Imported().Path(), sel.Sel.Name, Suppress)
+				}
+			case "crypto/rand":
+				if !pass.Suppressed(sel.Pos(), Suppress) {
+					pass.Reportf(sel.Pos(),
+						"crypto/rand is nondeterministic by design and must not reach simulation code; use simrng, or annotate //lint:%s <reason>",
+						Suppress)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGlobalRandFunc reports whether sel names a package-level function
+// of math/rand(/v2) that touches the shared global generator. Anything
+// that is not a constructor does: the draw functions (Intn, Float64,
+// Perm, Shuffle, ...), Seed, and Read.
+func isGlobalRandFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false // a type such as rand.Rand or rand.Source
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return !randConstructors[fn.Name()]
+}

@@ -1,0 +1,22 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+// TestFindings checks that wall-clock reads, global math/rand draws,
+// and crypto/rand uses are flagged inside a deterministic package, and
+// that reasoned //lint:wallclock-ok suppressions (and only reasoned
+// ones) silence them.
+func TestFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/det", "repro/internal/policy", detrand.Analyzer)
+}
+
+// TestExemptPackage checks that the live node's import path is out of
+// scope: wall time is legitimate there.
+func TestExemptPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/exempt", "repro/node", detrand.Analyzer)
+}

@@ -1,0 +1,52 @@
+// Package det poses as a deterministic simulation package
+// (repro/internal/policy) to exercise the detrand analyzer.
+package det
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func durationsAreFine() time.Duration {
+	// Types and constants from package time carry no wall-clock state.
+	var d time.Duration = 3 * time.Second
+	return d.Round(time.Millisecond)
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle draws from hidden auto-seeded state`
+	_ = randv2.IntN(7)                 // want `global math/rand/v2.IntN draws from hidden auto-seeded state`
+	return rand.Intn(10)               // want `global math/rand.Intn draws from hidden auto-seeded state`
+}
+
+func seededLocalRandIsFine() float64 {
+	r := rand.New(rand.NewSource(1)) // explicitly seeded: deterministic
+	return r.Float64()
+}
+
+func cryptoRand() {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf) // want `crypto/rand is nondeterministic by design`
+}
+
+func suppressed() time.Time {
+	//lint:wallclock-ok fixture demonstrating a reasoned suppression
+	return time.Now()
+}
+
+func suppressedSameLine() int {
+	return rand.Int() //lint:wallclock-ok fixture: same-line suppression
+}
+
+func suppressionWithoutReason() time.Time {
+	//lint:wallclock-ok
+	return time.Now() // want `needs a reason` `time.Now reads the wall clock`
+}

@@ -1,0 +1,16 @@
+// Package exempt poses as the live node (repro/node), where wall-clock
+// time and ambient randomness are legitimate; detrand must stay quiet.
+package exempt
+
+import (
+	"math/rand"
+	"time"
+)
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}

@@ -1,0 +1,22 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+// TestFindings checks that order-sensitive map iteration is flagged in
+// a deterministic package while the blessed shapes — sorted-keys
+// idiom, commutative accumulators, delete loops, reasoned
+// annotations — pass.
+func TestFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/det", "repro/internal/core", maporder.Analyzer)
+}
+
+// TestExemptPackage checks that packages outside the deterministic set
+// may iterate maps freely.
+func TestExemptPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/exempt", "repro/internal/report", maporder.Analyzer)
+}

@@ -1,0 +1,93 @@
+// Package det poses as repro/internal/core to exercise the maporder
+// analyzer: map iteration must not leak order into observable state.
+package det
+
+import (
+	"sort"
+)
+
+// leakOrder appends map entries to output in iteration order: the
+// classic golden-breaking bug.
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order can reach observable state`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// lastWins keeps whichever key iterates last: order-dependent.
+func lastWins(m map[string]int) string {
+	var winner string
+	for k := range m { // want `map iteration order can reach observable state`
+		winner = k
+	}
+	return winner
+}
+
+// sortedKeys is the blessed idiom: collect, sort, then iterate.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedValuesReverse collects values and sorts through sort.Sort.
+func sortedValuesReverse(m map[int]int) []int {
+	sizes := make([]int, 0, len(m))
+	for _, c := range m {
+		sizes = append(sizes, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// accumulators commute across iterations: sums, counts, max, flags.
+func accumulators(m map[string]float64) (float64, int, float64, bool) {
+	var sum float64
+	var n int
+	var max float64
+	var sawNegative bool
+	for _, v := range m {
+		sum += v
+		n++
+		if v > max {
+			max = v
+		}
+		if v < 0 {
+			sawNegative = true
+		}
+	}
+	return sum, n, max, sawNegative
+}
+
+// clear deletes every entry; deletion commutes.
+func clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// annotated carries a reasoned suppression for a case the analyzer
+// cannot prove (at most one entry matches).
+func annotated(m map[string]int, want int) string {
+	//lint:maporder-ok values are unique, so at most one entry matches
+	for k, v := range m {
+		if v == want {
+			return k
+		}
+	}
+	return ""
+}
+
+// sliceOrderIsFine ranges over a slice, which iterates in index order.
+func sliceOrderIsFine(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v*2)
+	}
+	return out
+}

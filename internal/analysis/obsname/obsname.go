@@ -1,0 +1,208 @@
+// Package obsname implements the guess-lint analyzer that keeps the
+// obs metric namespace literal, well-formed, unique, and documented.
+//
+// The observability layer promises byte-stable Prometheus exposition
+// and a README metric table operators can trust. That promise breaks
+// if instrument names are computed at runtime (un-greppable, possibly
+// unstable), stray outside the guess_* namespace, are registered from
+// two places with different meanings, or silently never make the docs.
+// For every obs.Registry Counter/Gauge/Histogram registration outside
+// test files, this analyzer checks:
+//
+//   - the metric name is a compile-time string constant;
+//   - the name matches ^guess_(node_)?[a-z0-9_]+(_total|_seconds|_bytes)?$
+//     (lower-case guess_* namespace with conventional unit suffixes);
+//   - the name is registered at exactly one call site across the run
+//     (the registry is idempotent at runtime, but two sites drift);
+//   - the name appears in the README metric tables, either verbatim or
+//     as a `suffix` under its family row (e.g. `queries_total` under
+//     the `guess_sim_*` row).
+//
+// Escape hatch: //lint:obsname-ok <reason>.
+package obsname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Suppress is the //lint: directive that silences this analyzer.
+const Suppress = "obsname-ok"
+
+const obsPath = "repro/internal/obs"
+
+// namePattern is the repo's metric-name grammar (see the issue and the
+// README "Observability" section).
+var namePattern = regexp.MustCompile(`^guess_(node_)?[a-z0-9_]+(_total|_seconds|_bytes)?$`)
+
+// registrars are the obs.Registry methods that register instruments.
+var registrars = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// New returns a fresh obsname analyzer. The README check is controlled
+// by readme:
+//
+//	""     — auto-discover README.md next to go.mod, walking up from
+//	         each analyzed package's directory (the multichecker mode);
+//	"-"    — disable the README check (for fixtures without docs);
+//	path   — use exactly this file.
+//
+// Each call returns an independent analyzer: the duplicate-name check
+// accumulates state across packages, so separate runs (tests, repeated
+// invocations) must not share instances.
+func New(readme string) *analysis.Analyzer {
+	c := &checker{
+		readme:  readme,
+		readmes: make(map[string]string),
+		seen:    make(map[string]token.Position),
+	}
+	return &analysis.Analyzer{
+		Name: "obsname",
+		Doc:  "require literal, well-formed, unique, README-documented obs metric names",
+		Run:  c.run,
+	}
+}
+
+type checker struct {
+	readme  string
+	readmes map[string]string         // cache: directory -> README contents ("" = none found)
+	seen    map[string]token.Position // metric name -> first registration site
+}
+
+func (c *checker) run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue // tests register throwaway names by design
+		}
+		var readmeContent string
+		if c.readme != "-" {
+			readmeContent = c.readmeFor(filepath.Dir(filename))
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := c.registration(pass, call); ok {
+				c.check(pass, call, name, readmeContent)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registration reports whether call registers an obs instrument, and
+// if so returns its name argument's constant value ("" when the name
+// is not a compile-time constant).
+func (c *checker) registration(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registrars[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || len(call.Args) < 1 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", true // a registration, but not a constant name
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func (c *checker) check(pass *analysis.Pass, call *ast.CallExpr, name, readme string) {
+	pos := call.Args[0].Pos()
+	if name == "" {
+		if !pass.Suppressed(pos, Suppress) {
+			pass.Reportf(pos,
+				"metric name must be a compile-time string constant so the namespace is greppable and stable; annotate //lint:%s <reason> if a computed name is unavoidable",
+				Suppress)
+		}
+		return
+	}
+	if !namePattern.MatchString(name) {
+		if !pass.Suppressed(pos, Suppress) {
+			pass.Reportf(pos,
+				"metric name %q does not match %s; annotate //lint:%s <reason> for a deliberate exception",
+				name, namePattern, Suppress)
+		}
+		return
+	}
+	if first, dup := c.seen[name]; dup {
+		if !pass.Suppressed(pos, Suppress) {
+			pass.Reportf(pos,
+				"metric %q is already registered at %s; a name must have exactly one registration site, or annotate //lint:%s <reason>",
+				name, first, Suppress)
+		}
+		return
+	}
+	c.seen[name] = pass.Fset.Position(pos)
+	if readme != "" && !documented(readme, name) && !pass.Suppressed(pos, Suppress) {
+		pass.Reportf(pos,
+			"metric %q is not listed in the README metric tables; document it (or annotate //lint:%s <reason>)",
+			name, Suppress)
+	}
+}
+
+// documented reports whether the README lists the metric, either as
+// the backticked full name or as a backticked `suffix` in a family row
+// introduced by `guess_<family>_*`.
+func documented(readme, name string) bool {
+	if strings.Contains(readme, "`"+name+"`") {
+		return true
+	}
+	for i := len("guess_"); i < len(name); i++ {
+		if name[i] != '_' {
+			continue
+		}
+		family, suffix := name[:i], name[i+1:]
+		if strings.Contains(readme, "`"+family+"_*`") && strings.Contains(readme, "`"+suffix+"`") {
+			return true
+		}
+	}
+	return false
+}
+
+// readmeFor finds the README.md beside the nearest enclosing go.mod,
+// caching per starting directory. Missing files simply disable the
+// documentation check (fixture trees have no README).
+func (c *checker) readmeFor(dir string) string {
+	if cached, ok := c.readmes[dir]; ok {
+		return cached
+	}
+	content := ""
+	if c.readme != "" {
+		if b, err := os.ReadFile(c.readme); err == nil {
+			content = string(b)
+		}
+	} else {
+		for d := dir; ; {
+			if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+				if b, err := os.ReadFile(filepath.Join(d, "README.md")); err == nil {
+					content = string(b)
+				}
+				break
+			}
+			parent := filepath.Dir(d)
+			if parent == d {
+				break
+			}
+			d = parent
+		}
+	}
+	c.readmes[dir] = content
+	return content
+}

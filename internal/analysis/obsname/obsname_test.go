@@ -1,0 +1,24 @@
+package obsname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsname"
+)
+
+// TestFindings checks the metric-name contract against a fixture
+// README: names must be literal, match the grammar, register once, and
+// appear in the documentation tables; test files and reasoned
+// annotations are exempt.
+func TestFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/pkg", "repro/internal/obsfixture",
+		obsname.New("testdata/README.md"))
+}
+
+// TestREADMECheckDisabled checks that "-" turns the documentation
+// check off: the undocumented (but otherwise clean) names then pass.
+func TestREADMECheckDisabled(t *testing.T) {
+	analysistest.Run(t, "testdata/src/nodoc", "repro/internal/obsfixture",
+		obsname.New("-"))
+}

@@ -1,0 +1,36 @@
+// Package pkg exercises the obsname analyzer against the fixture
+// README one directory up.
+package pkg
+
+import (
+	"repro/internal/obs"
+)
+
+const queriesName = "guess_sim_queries_total"
+
+func documented(reg *obs.Registry) {
+	reg.Counter(queriesName, "Documented via the guess_sim_* family row.")
+	reg.Gauge("guess_sim_cache_entries_avg", "Documented family suffix.")
+	reg.Histogram("guess_node_rtt_seconds", "Documented verbatim.", []float64{0.1, 1})
+}
+
+func computedName(reg *obs.Registry, suffix string) {
+	reg.Counter("guess_sim_"+suffix, "") // want `metric name must be a compile-time string constant`
+}
+
+func badGrammar(reg *obs.Registry) {
+	reg.Counter("node_queries_Total", "") // want `does not match`
+}
+
+func duplicate(reg *obs.Registry) {
+	reg.Counter("guess_sim_queries_total", "") // want `already registered at`
+}
+
+func undocumented(reg *obs.Registry) {
+	reg.Counter("guess_sim_probes_total", "") // want `not listed in the README metric tables`
+}
+
+func annotated(reg *obs.Registry) {
+	//lint:obsname-ok fixture: internal-only metric, deliberately undocumented
+	reg.Counter("guess_sim_births_total", "")
+}

@@ -1,0 +1,10 @@
+package pkg
+
+import (
+	"repro/internal/obs"
+)
+
+// Test files may register throwaway names: obsname must not look here.
+func registerScratch(reg *obs.Registry) {
+	reg.Counter("scratch_counter", "not a guess_* name, and that is fine in tests")
+}

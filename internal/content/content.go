@@ -260,6 +260,7 @@ func (l Library) Results(id ItemID) int {
 // Items returns the library's items in unspecified order; for tests.
 func (l Library) Items() []ItemID {
 	out := make([]ItemID, 0, len(l.items))
+	//lint:maporder-ok order is documented as unspecified; test-only helper off the simulation path
 	for id := range l.items {
 		out = append(out, id)
 	}

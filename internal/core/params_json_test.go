@@ -65,6 +65,7 @@ func TestBadPongBehaviorTextZero(t *testing.T) {
 }
 
 func TestParseBadPongBehavior(t *testing.T) {
+	//lint:maporder-ok iterations are independent checks; no state crosses entries
 	for name, want := range map[string]BadPongBehavior{
 		"Dead": BadPongDead, "Bad": BadPongBad, "Good": BadPongGood,
 	} {

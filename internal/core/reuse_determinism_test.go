@@ -93,6 +93,7 @@ func runTraced(t *testing.T, p Params, noReuse bool) (string, string) {
 // guarantee: with pooling on and off, same Params must yield identical
 // Results and byte-identical CSV traces.
 func TestReusePathsMatchReference(t *testing.T) {
+	//lint:maporder-ok subtests are independent; execution order does not affect any result
 	for name, p := range reuseTestConfigs() {
 		t.Run(name, func(t *testing.T) {
 			for seed := uint64(1); seed <= 3; seed++ {

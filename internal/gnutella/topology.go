@@ -2,6 +2,7 @@ package gnutella
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/simrng"
 )
@@ -87,7 +88,16 @@ func NewPowerLaw(r *simrng.RNG, n, m int) (*Topology, error) {
 		for len(picked) < m {
 			picked[targets[r.Intn(len(targets))]] = true
 		}
+		// Attach in sorted order: map iteration order would otherwise
+		// leak into the adjacency lists and the degree-proportional
+		// sampling pool, so same-seed topologies would differ between
+		// runs.
+		ws := make([]int, 0, m)
 		for w := range picked {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
 			t.adj[v] = append(t.adj[v], w)
 			t.adj[w] = append(t.adj[w], v)
 			targets = append(targets, v, w)

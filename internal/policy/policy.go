@@ -68,6 +68,7 @@ func (s Selection) Valid() bool {
 // ParseSelection resolves a policy name ("Random", "MRU", "LRU",
 // "MFS", "MR", "MR*" — case-sensitive, as printed by String).
 func ParseSelection(name string) (Selection, error) {
+	//lint:maporder-ok policy names are unique, so at most one entry matches
 	for s, n := range selectionNames {
 		if n == name {
 			return s, nil
@@ -169,6 +170,7 @@ func (ev Eviction) Valid() bool {
 // ParseEviction resolves an eviction policy name ("Random", "LRU",
 // "MRU", "LFS", "LR", "LR*").
 func ParseEviction(name string) (Eviction, error) {
+	//lint:maporder-ok policy names are unique, so at most one entry matches
 	for ev, n := range evictionNames {
 		if n == name {
 			return ev, nil

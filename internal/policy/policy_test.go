@@ -66,6 +66,7 @@ func TestEvictionFor(t *testing.T) {
 		SelMR:     EvLR,
 		SelMRStar: EvLRStar,
 	}
+	//lint:maporder-ok iterations are independent checks; no state crosses entries
 	for sel, want := range pairs {
 		if got := EvictionFor(sel); got != want {
 			t.Errorf("EvictionFor(%v) = %v, want %v", sel, got, want)

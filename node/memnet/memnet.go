@@ -352,13 +352,28 @@ func (n *Network) deliver(from, to netip.AddrPort, data []byte) {
 // in the sense that it must also land.
 func (n *Network) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	// Poll with exponential backoff: fast enough (50µs) that an
+	// already-idle network returns almost immediately, backing off to
+	// 5ms so a long drain does not keep a core busy while chaos tests
+	// wait out jittered deliveries.
+	const maxPoll = 5 * time.Millisecond
+	poll := 50 * time.Microsecond
+	for {
 		if n.inFlight.Load() == 0 {
 			return true
 		}
-		time.Sleep(time.Millisecond)
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return n.inFlight.Load() == 0
+		}
+		if poll > remain {
+			poll = remain
+		}
+		time.Sleep(poll)
+		if poll < maxPoll {
+			poll *= 2
+		}
 	}
-	return n.inFlight.Load() == 0
 }
 
 type packet struct {

@@ -249,7 +249,7 @@ func TestSnapshotLoopWrites(t *testing.T) {
 func FuzzSnapshotDecode(f *testing.F) {
 	data, _ := goldenSnapshot(f)
 	f.Add(data)
-	f.Add(data[:len(data)-1])   // truncated trailer
+	f.Add(data[:len(data)-1])    // truncated trailer
 	f.Add(data[:snapHeaderSize]) // header only
 	bad := append([]byte(nil), data...)
 	bad[7] ^= 0x80 // bit-flipped count
