@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check obs-smoke experiments-quick experiments-full clean
+.PHONY: all build vet lint vuln test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check cover-check obs-smoke experiments-quick experiments-full clean
 
 all: build vet lint test fuzz-smoke bench-smoke obs-smoke
 
@@ -65,12 +65,16 @@ test-chaos:
 race:
 	$(GO) test -race -short -timeout 15m ./node/... ./internal/experiments
 
-# Ten seconds of coverage-guided fuzzing each over the wire decoder
-# and the snapshot decoder: cheap insurance that neither a datagram
-# nor an on-disk snapshot can panic a live node.
+# Ten seconds of coverage-guided fuzzing each over the wire decoder,
+# the snapshot decoder, and the gossip/DHT parameter spaces: cheap
+# insurance that no datagram or snapshot can panic a live node and no
+# parameter corner breaks the substrate engines' conservation
+# invariants or determinism.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./node
+	$(GO) test -run='^$$' -fuzz=FuzzGossipParams -fuzztime=10s ./internal/gossip
+	$(GO) test -run='^$$' -fuzz=FuzzDHTLookup -fuzztime=10s ./internal/dht
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -124,6 +128,22 @@ obs-smoke:
 	curl -fsS http://127.0.0.1:9464/healthz | grep -q '"status":"ok"' || \
 	  { echo "obs-smoke: /healthz not ok" >&2; exit 1; }; \
 	echo "obs-smoke: /metrics, /metrics.json and /healthz OK"
+
+# Coverage gate for the protocol substrates and the experiment
+# harness: the cross-protocol property suite only means something
+# while it actually exercises the engines, so the covered-statement
+# ratio of each gated package must stay at or above COVER_MIN.
+COVER_PKGS = ./internal/gossip ./internal/dht ./internal/experiments
+COVER_MIN ?= 80
+cover-check:
+	$(GO) test -coverprofile=/tmp/cover-check.out $(COVER_PKGS)
+	@awk -F: 'NR>1 { split($$NF, f, " "); pkg=$$1; sub(/\/[^\/]*\.go$$/, "", pkg); \
+	    tot[pkg]+=f[2]; if (f[3]>0) cov[pkg]+=f[2] } \
+	  END { bad=0; for (p in tot) { pct=100*cov[p]/tot[p]; \
+	    printf "cover-check: %-28s %5.1f%% (min $(COVER_MIN)%%)\n", p, pct; \
+	    if (pct < $(COVER_MIN)) bad=1 } \
+	    if (bad) print "cover-check: FAIL: package below $(COVER_MIN)% statement coverage"; \
+	    exit bad }' /tmp/cover-check.out
 
 # Regenerate every paper table/figure quickly (small networks).
 experiments-quick:

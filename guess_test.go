@@ -59,8 +59,8 @@ func TestEvictionFor(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := guess.ExperimentIDs()
-	if len(ids) != 25 {
-		t.Fatalf("expected 25 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 26 {
+		t.Fatalf("expected 26 experiments, got %d: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		if _, err := guess.ExperimentTitle(id); err != nil {

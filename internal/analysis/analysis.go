@@ -149,6 +149,8 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/workload": true,
 	"repro/internal/overlay":  true,
 	"repro/internal/gnutella": true,
+	"repro/internal/gossip":   true,
+	"repro/internal/dht":      true,
 	"repro/internal/obs":      true,
 }
 

@@ -244,21 +244,28 @@ func Run(id string, opts Options) (*Result, error) {
 // suite's cost. Keys include every input that affects the runs.
 var sweepMemo sync.Map // string -> []*core.Results
 
-// memoKey builds a cache key from the options, a sweep label, and a
-// digest of the parameter sets themselves. The digest matters: labels
-// are chosen by experiment authors, and two sweeps sharing a label,
-// scale, seed, and replication count but differing in params (say,
-// after an experiment is re-tuned) must never silently collide.
-func memoKey(opts Options, label string, params []core.Params) string {
-	return fmt.Sprintf("%s|scale=%v|seed=%d|reps=%d|params=%s",
-		label, opts.Scale, opts.seed(), opts.Replications, paramsDigest(params))
+// memoKey builds a cache key from the protocol family, the options, a
+// sweep label, and a digest of the parameter sets themselves. The
+// family discriminator ("guess", "gossip", "dht", ...) guarantees that
+// results cached for one engine can never be served to a different
+// protocol whose label, scale, seed, and digest happen to coincide —
+// the cache stores untyped values, so a collision would surface as a
+// type-assertion panic at best and silent cross-protocol reuse at
+// worst. The digest matters too: labels are chosen by experiment
+// authors, and two sweeps sharing a label, scale, seed, and
+// replication count but differing in params (say, after an experiment
+// is re-tuned) must never silently collide.
+func memoKey(family string, opts Options, label, digest string) string {
+	return fmt.Sprintf("%s|%s|scale=%v|seed=%d|reps=%d|params=%s",
+		family, label, opts.Scale, opts.seed(), opts.Replications, digest)
 }
 
 // paramsDigest hashes the full JSON encoding of every parameter set
 // (length-prefixed, so concatenation ambiguities cannot produce equal
-// digests for different sweeps). Params serializes completely except
-// the Trace writer, which never participates in sweeps.
-func paramsDigest(params []core.Params) string {
+// digests for different sweeps). Core's Params serializes completely
+// except the Trace writer, which never participates in sweeps; the
+// gossip and DHT parameter structs are plain data.
+func paramsDigest[T any](params []T) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "n=%d;", len(params))
 	for _, p := range params {
@@ -278,7 +285,7 @@ func paramsDigest(params []core.Params) string {
 // runAllMemo is runAll with process-level memoization under the given
 // label.
 func runAllMemo(opts Options, label string, params []core.Params) ([]*core.Results, error) {
-	key := memoKey(opts, label, params)
+	key := memoKey("guess", opts, label, paramsDigest(params))
 	if v, ok := sweepMemo.Load(key); ok {
 		return v.([]*core.Results), nil
 	}

@@ -12,8 +12,8 @@ func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21",
 		// Extensions and ablations beyond the paper's figures.
-		"abl-introprob", "abl-pongsize", "ext-adaptive", "ext-detection",
-		"ext-selfish",
+		"abl-introprob", "abl-pongsize", "cmp-families", "ext-adaptive",
+		"ext-detection", "ext-selfish",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -205,12 +205,122 @@ func TestProgressWriter(t *testing.T) {
 	var b strings.Builder
 	opts := quickOpts()
 	opts.Progress = &b
-	if _, err := Run("fig12", opts); err != nil {
+	// fig6 goes through the non-memoized runAll path, so its runs (and
+	// progress lines) can never be absorbed by another test's cached
+	// sweep.
+	if _, err := Run("fig6", opts); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "done") {
 		t.Fatal("no progress lines written")
 	}
+}
+
+func TestRunFig3AndFig4ShareSweep(t *testing.T) {
+	skipHeavy(t)
+	res3, err := Run("fig3", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig3", res3)
+	// Figure 4 projects the identical cache sweep; after fig3 it must
+	// come from the memo and agree row for row on the sweep grid.
+	res4, err := Run("fig4", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig4", res4)
+	r3, r4 := res3.Tables[0].Rows(), res4.Tables[0].Rows()
+	if len(r3) != len(r4) {
+		t.Fatalf("fig3 has %d rows, fig4 has %d; same sweep should give the same grid", len(r3), len(r4))
+	}
+	for i := range r3 {
+		if r3[i][0] != r4[i][0] || r3[i][1] != r4[i][1] {
+			t.Fatalf("row %d grid mismatch: fig3 %v vs fig4 %v", i, r3[i], r4[i])
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	skipHeavy(t)
+	res, err := Run("fig6", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig6", res)
+	// Quick scale: 3 cache sizes x 4 ping intervals.
+	if got := len(res.Tables[0].Rows()); got != 12 {
+		t.Fatalf("fig6 rows = %d, want 12", got)
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	skipHeavy(t)
+	res, err := Run("fig7", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig7", res)
+	// Quick scale: 2 network sizes x 4 ping intervals; the relative
+	// component column must be a fraction of the network.
+	rows := res.Tables[0].Rows()
+	if len(rows) != 8 {
+		t.Fatalf("fig7 rows = %d, want 8", len(rows))
+	}
+	for _, row := range rows {
+		rel, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel <= 0 || rel > 1 {
+			t.Fatalf("fig7 relative WCC %v outside (0,1]: %v", rel, row)
+		}
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	skipHeavy(t)
+	res, err := Run("fig9", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig9", res)
+	if got := len(res.Tables[0].Rows()); got != 5 {
+		t.Fatalf("fig9 rows = %d, want 5 policies", got)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	skipHeavy(t)
+	res, err := Run("fig10", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig10", res)
+	if got := len(res.Tables[0].Rows()); got != 5 {
+		t.Fatalf("fig10 rows = %d, want 5 policies", got)
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	skipHeavy(t)
+	res, err := Run("fig11", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig11", res)
+	if got := len(res.Tables[0].Rows()); got != 5 {
+		t.Fatalf("fig11 rows = %d, want 5 eviction policies", got)
+	}
+}
+
+func TestRunFig14(t *testing.T) {
+	skipHeavy(t)
+	res, err := Run("fig14", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "fig14", res)
 }
 
 func TestScaleString(t *testing.T) {

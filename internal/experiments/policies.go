@@ -106,8 +106,10 @@ func runFig8(opts Options) (*Result, error) {
 }
 
 // selectionSweep runs one simulation per selection policy with the
-// given field set, everything else at defaults.
-func selectionSweep(opts Options, set func(*core.Params, policy.Selection)) ([]policy.Selection, []*core.Results, error) {
+// given field set, everything else at defaults. Sweeps are memoized
+// under the swept field's name: Figures 10 and 12 are two projections
+// of the identical QueryPong sweep, so the second figure is free.
+func selectionSweep(opts Options, field string, set func(*core.Params, policy.Selection)) ([]policy.Selection, []*core.Results, error) {
 	policies := []policy.Selection{
 		policy.SelRandom, policy.SelMRU, policy.SelLRU, policy.SelMFS, policy.SelMR,
 	}
@@ -117,7 +119,7 @@ func selectionSweep(opts Options, set func(*core.Params, policy.Selection)) ([]p
 		set(&p, sel)
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
+	results, err := runAllMemo(opts, "selectionSweep:"+field, params)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -134,7 +136,7 @@ func probesByPolicyTable(title string, policies []policy.Selection, results []*c
 }
 
 func runFig9(opts Options) (*Result, error) {
-	policies, results, err := selectionSweep(opts, func(p *core.Params, s policy.Selection) {
+	policies, results, err := selectionSweep(opts, "QueryProbe", func(p *core.Params, s policy.Selection) {
 		p.QueryProbe = s
 	})
 	if err != nil {
@@ -145,7 +147,7 @@ func runFig9(opts Options) (*Result, error) {
 }
 
 func runFig10(opts Options) (*Result, error) {
-	policies, results, err := selectionSweep(opts, func(p *core.Params, s policy.Selection) {
+	policies, results, err := selectionSweep(opts, "QueryPong", func(p *core.Params, s policy.Selection) {
 		p.QueryPong = s
 	})
 	if err != nil {
@@ -165,7 +167,7 @@ func runFig11(opts Options) (*Result, error) {
 		p.CacheReplacement = ev
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
+	results, err := runAllMemo(opts, "evictionSweep:CacheReplacement", params)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +181,7 @@ func runFig11(opts Options) (*Result, error) {
 }
 
 func runFig12(opts Options) (*Result, error) {
-	policies, results, err := selectionSweep(opts, func(p *core.Params, s policy.Selection) {
+	policies, results, err := selectionSweep(opts, "QueryPong", func(p *core.Params, s policy.Selection) {
 		p.QueryPong = s
 	})
 	if err != nil {

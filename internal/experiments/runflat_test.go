@@ -95,34 +95,46 @@ func (s goroutineSampler) Write(p []byte) (int, error) {
 
 // TestMemoKeyDistinguishesParams is the satellite's regression test:
 // sweeps sharing label, scale, seed, and replications but differing in
-// params must get distinct memo keys.
+// params — or in protocol family — must get distinct memo keys.
 func TestMemoKeyDistinguishesParams(t *testing.T) {
 	opts := Options{Scale: Quick, Seed: 3, Replications: 2}
 	a := []core.Params{tinyParams(1), tinyParams(2)}
 	b := []core.Params{tinyParams(1), tinyParams(2)}
 	b[1].CacheSize++ // one field differs
-	keyA := memoKey(opts, "sweep", a)
-	keyB := memoKey(opts, "sweep", b)
+	keyA := memoKey("guess", opts, "sweep", paramsDigest(a))
+	keyB := memoKey("guess", opts, "sweep", paramsDigest(b))
 	if keyA == keyB {
 		t.Fatalf("memoKey collision for differing params: %q", keyA)
 	}
 	// Same params, same key (memoization must still hit).
-	if again := memoKey(opts, "sweep", a); again != keyA {
+	if again := memoKey("guess", opts, "sweep", paramsDigest(a)); again != keyA {
 		t.Fatalf("memoKey not stable: %q vs %q", again, keyA)
 	}
 	// Length-prefixing: one sweep of two sets vs two concatenation-
 	// ambiguous variants must differ.
-	if k1, k2 := memoKey(opts, "sweep", a), memoKey(opts, "sweep", a[:1]); k1 == k2 {
-		t.Fatal("memoKey ignores params length")
+	if paramsDigest(a) == paramsDigest(a[:1]) {
+		t.Fatal("paramsDigest ignores params length")
 	}
 	// Other key components still participate.
-	if memoKey(Options{Seed: 4}, "sweep", a) == memoKey(Options{Seed: 5}, "sweep", a) {
+	if memoKey("guess", Options{Seed: 4}, "sweep", paramsDigest(a)) ==
+		memoKey("guess", Options{Seed: 5}, "sweep", paramsDigest(a)) {
 		t.Fatal("memoKey ignores seed")
 	}
-	if memoKey(opts, "x", a) == memoKey(opts, "y", a) {
+	if memoKey("guess", opts, "x", paramsDigest(a)) == memoKey("guess", opts, "y", paramsDigest(a)) {
 		t.Fatal("memoKey ignores label")
 	}
 	if !strings.Contains(keyA, "sweep|") {
 		t.Fatalf("memoKey %q lost its label prefix", keyA)
+	}
+	// The family discriminator: identical label, options, and digest
+	// under different protocol families must never share a cache slot —
+	// a cached flood/GUESS sweep must be unreachable from a gossip or
+	// DHT lookup with otherwise-identical inputs.
+	d := paramsDigest(a)
+	if memoKey("guess", opts, "sweep", d) == memoKey("gossip", opts, "sweep", d) {
+		t.Fatal("memoKey ignores protocol family (guess vs gossip)")
+	}
+	if memoKey("gossip", opts, "sweep", d) == memoKey("dht", opts, "sweep", d) {
+		t.Fatal("memoKey ignores protocol family (gossip vs dht)")
 	}
 }

@@ -1,0 +1,624 @@
+// Package gossip implements gossip-based search over the simulated
+// overlay: queries spread as rumors in synchronous rounds, following
+// the push / pull / push-pull taxonomy of Jaho et al. (Gossip-based
+// Search in Multipeer Communication Networks). Each round, informed
+// peers push the rumor to Fanout random neighbors (push modes) and
+// uninformed peers poll Fanout random neighbors for it (pull modes,
+// modeling periodic anti-entropy). A query stops when it has gathered
+// NumDesiredResults results (hit-count stopping rule), when it has
+// spent MaxRounds rounds (budget stopping rule), or when every live
+// peer is informed.
+//
+// The engine consumes the shared content substrate, draws from named
+// simrng streams so runs are byte-identical per seed, drives the
+// internal/eventq queue, and emits internal/obs metrics and trace
+// events exactly like the GUESS and Gnutella paths. Churn is modeled
+// as a static DeadFraction of peers that never answer: gossip rounds
+// are fast relative to session lifetimes, so within one query the dead
+// set is effectively frozen.
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/content"
+	"repro/internal/eventq"
+	"repro/internal/gnutella"
+	"repro/internal/obs"
+	"repro/internal/simrng"
+)
+
+// Mode selects the rumor-spreading mechanism.
+type Mode int
+
+const (
+	// ModePush: informed peers push the rumor to Fanout random
+	// neighbors each round.
+	ModePush Mode = iota + 1
+	// ModePull: uninformed peers poll Fanout random neighbors each
+	// round and receive the rumor from informed ones.
+	ModePull
+	// ModePushPull combines both mechanisms in every round.
+	ModePushPull
+)
+
+var modeNames = map[Mode]string{
+	ModePush:     "push",
+	ModePull:     "pull",
+	ModePushPull: "pushpull",
+}
+
+// String returns the mode name ("push", "pull", "pushpull").
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode is the inverse of String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "push":
+		return ModePush, nil
+	case "pull":
+		return ModePull, nil
+	case "pushpull":
+		return ModePushPull, nil
+	}
+	return 0, fmt.Errorf("gossip: unknown mode %q", s)
+}
+
+// Params configures a gossip-search run. The zero value is not valid;
+// start from DefaultParams.
+type Params struct {
+	// NetworkSize is the number of peers in the overlay.
+	NetworkSize int
+	// AvgDegree is the overlay's average degree (ring plus random
+	// edges, as in the Gnutella topology).
+	AvgDegree int
+	// Fanout is the number of random neighbors each participating peer
+	// contacts per round.
+	Fanout int
+	// MaxRounds is the per-query round budget.
+	MaxRounds int
+	// RoundInterval is the virtual seconds between rounds.
+	RoundInterval float64
+	// Mode selects push, pull, or push-pull spreading.
+	Mode Mode
+	// NumQueries is the number of queries to run.
+	NumQueries int
+	// NumDesiredResults is the hit-count stopping rule: a query stops
+	// as soon as it has accumulated this many results.
+	NumDesiredResults int
+	// QueryRate is the network-wide query arrival rate (queries per
+	// virtual second); inter-arrival times are exponential.
+	QueryRate float64
+	// DeadFraction is the fraction of peers that are offline for the
+	// whole run (the static-churn stand-in; see the package comment).
+	DeadFraction float64
+	// LossProb is the probability that any single message is lost.
+	LossProb float64
+	// Seed is the master RNG seed.
+	Seed uint64
+	// Content configures the shared content substrate.
+	Content content.Params
+}
+
+// DefaultParams returns a small but representative configuration.
+func DefaultParams() Params {
+	return Params{
+		NetworkSize:       400,
+		AvgDegree:         8,
+		Fanout:            2,
+		MaxRounds:         12,
+		RoundInterval:     1,
+		Mode:              ModePushPull,
+		NumQueries:        500,
+		NumDesiredResults: 1,
+		QueryRate:         2,
+		DeadFraction:      0.1,
+		LossProb:          0,
+		Seed:              1,
+		Content:           content.DefaultParams(),
+	}
+}
+
+// validFrac reports whether f is a well-formed probability in [0, 1).
+func validFrac(f float64) bool {
+	return f >= 0 && f < 1 && !math.IsNaN(f)
+}
+
+// Validate checks parameter sanity, rejecting NaN and infinite floats
+// so fuzzed configurations cannot smuggle non-finite arithmetic into
+// the event loop.
+func (p Params) Validate() error {
+	switch {
+	case p.NetworkSize < 2:
+		return fmt.Errorf("gossip: NetworkSize must be >= 2, got %d", p.NetworkSize)
+	case p.AvgDegree < 2 || p.AvgDegree >= p.NetworkSize:
+		return fmt.Errorf("gossip: AvgDegree %d out of range for %d peers", p.AvgDegree, p.NetworkSize)
+	case p.Fanout < 1:
+		return fmt.Errorf("gossip: Fanout must be >= 1, got %d", p.Fanout)
+	case p.MaxRounds < 1:
+		return fmt.Errorf("gossip: MaxRounds must be >= 1, got %d", p.MaxRounds)
+	case !(p.RoundInterval > 0) || math.IsInf(p.RoundInterval, 0):
+		return fmt.Errorf("gossip: RoundInterval must be positive and finite, got %v", p.RoundInterval)
+	case p.Mode != ModePush && p.Mode != ModePull && p.Mode != ModePushPull:
+		return fmt.Errorf("gossip: invalid Mode %d", int(p.Mode))
+	case p.NumQueries < 1:
+		return fmt.Errorf("gossip: NumQueries must be >= 1, got %d", p.NumQueries)
+	case p.NumDesiredResults < 1:
+		return fmt.Errorf("gossip: NumDesiredResults must be >= 1, got %d", p.NumDesiredResults)
+	case !(p.QueryRate > 0) || math.IsInf(p.QueryRate, 0):
+		return fmt.Errorf("gossip: QueryRate must be positive and finite, got %v", p.QueryRate)
+	case !validFrac(p.DeadFraction):
+		return fmt.Errorf("gossip: DeadFraction must be in [0,1), got %v", p.DeadFraction)
+	case !validFrac(p.LossProb):
+		return fmt.Errorf("gossip: LossProb must be in [0,1), got %v", p.LossProb)
+	}
+	return p.Content.Validate()
+}
+
+// Results reports one gossip run. Message conservation holds by
+// construction: MessagesSent == MessagesDelivered + MessagesDropped.
+type Results struct {
+	// Queries partitions into Satisfied + Unsatisfied.
+	Queries     int
+	Satisfied   int
+	Unsatisfied int
+
+	// Message totals over the whole run.
+	MessagesSent      int64
+	MessagesDelivered int64
+	MessagesDropped   int64
+
+	// RoundsTotal is the sum of rounds used across queries;
+	// MaxRoundsUsed is the largest per-query round count.
+	RoundsTotal   int64
+	MaxRoundsUsed int
+
+	// PeersInformed sums the rumor's reach (informed peers, origin
+	// included) across queries; ResultsFound sums results gathered.
+	PeersInformed int64
+	ResultsFound  int64
+
+	// ResponseTimeSum is the total virtual seconds from query start to
+	// completion.
+	ResponseTimeSum float64
+
+	// PeerLoads counts messages received per peer (load-fairness
+	// input; dead peers accumulate none).
+	PeerLoads []int64
+
+	// Interrupted is set when the run was cancelled mid-flight.
+	Interrupted bool
+}
+
+// Satisfaction returns the satisfied fraction of queries.
+func (r *Results) Satisfaction() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Satisfied) / float64(r.Queries)
+}
+
+// MessagesPerQuery returns the mean messages sent per query.
+func (r *Results) MessagesPerQuery() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.MessagesSent) / float64(r.Queries)
+}
+
+// AvgRounds returns the mean rounds used per query.
+func (r *Results) AvgRounds() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.RoundsTotal) / float64(r.Queries)
+}
+
+// AvgReach returns the mean number of peers informed per query.
+func (r *Results) AvgReach() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.PeersInformed) / float64(r.Queries)
+}
+
+type evKind uint8
+
+const (
+	evQueryStart evKind = iota + 1
+	evRound
+)
+
+type event struct {
+	kind evKind
+	q    *query
+}
+
+type query struct {
+	id       uint64
+	item     content.ItemID
+	origin   int
+	start    float64
+	round    int
+	messages int64
+	results  int
+	// informed flags peers holding the rumor; spreaders lists them in
+	// infection order (informed peers are always live).
+	informed  []bool
+	spreaders []int
+}
+
+// Engine runs gossip queries over one sampled overlay and content
+// assignment. Create with New, run once with Run.
+type Engine struct {
+	p        Params
+	universe *content.Universe
+	topo     *gnutella.Topology
+	libs     []content.Library
+	dead     []bool
+	live     int
+
+	rngWorkload *simrng.RNG
+	rngSpread   *simrng.RNG
+	rngNet      *simrng.RNG
+
+	now    float64
+	events eventq.Queue[event]
+
+	res   Results
+	loads []int64
+
+	observer obs.Observer
+	met      *obs.GossipMetrics
+
+	nextQueryID uint64
+	pick        []int // neighbor-index scratch for fanout sampling
+	freeQ       []*query
+
+	ran bool
+}
+
+// New validates params and builds the overlay, content assignment, and
+// static dead set. The same params always yield the same engine state.
+func New(params Params) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	root := simrng.New(params.Seed)
+	universe, err := content.New(params.Content)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := gnutella.NewRandom(root.Stream("topology"), params.NetworkSize, params.AvgDegree)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		p:           params,
+		universe:    universe,
+		topo:        topo,
+		rngWorkload: root.Stream("workload"),
+		rngSpread:   root.Stream("spread"),
+		rngNet:      root.Stream("net"),
+	}
+	n := params.NetworkSize
+	rngContent := root.Stream("content")
+	e.libs = make([]content.Library, n)
+	for i := range e.libs {
+		e.libs[i] = universe.NewLibrary(rngContent, universe.SampleLibrarySize(rngContent))
+	}
+	// Exact-count dead set: the first k entries of a random
+	// permutation, so at least one peer is always live.
+	e.dead = make([]bool, n)
+	k := int(params.DeadFraction * float64(n))
+	if k >= n {
+		k = n - 1
+	}
+	for _, v := range root.Stream("churn").Perm(n)[:k] {
+		e.dead[v] = true
+	}
+	e.live = n - k
+	e.loads = make([]int64, n)
+	return e, nil
+}
+
+// SetObserver attaches a trace observer. Observers receive events but
+// never consume randomness or influence control flow, so attaching one
+// leaves Results byte-identical.
+func (e *Engine) SetObserver(o obs.Observer) { e.observer = o }
+
+// SetMetrics attaches a metric set (nil disables metrics). Like
+// observers, metrics never perturb the run.
+func (e *Engine) SetMetrics(m *obs.GossipMetrics) { e.met = m }
+
+// ctxCheckInterval matches the core engine's cancellation granularity,
+// scaled down because round and hop events are far coarser than core's
+// per-probe events.
+const ctxCheckInterval = 64
+
+// Run executes the configured number of queries and returns the run's
+// Results. It may be called once per Engine.
+func (e *Engine) Run(ctx context.Context) (*Results, error) {
+	if e.ran {
+		return nil, fmt.Errorf("gossip: Engine.Run called twice")
+	}
+	e.ran = true
+	if ctx != nil && ctx.Err() != nil {
+		e.res.Interrupted = true
+		e.finalize()
+		return &e.res, nil
+	}
+	t := 0.0
+	for i := 0; i < e.p.NumQueries; i++ {
+		t += e.rngWorkload.ExpFloat64() / e.p.QueryRate
+		e.events.Push(t, event{kind: evQueryStart, q: e.newQuery()})
+	}
+	processed := 0
+	for {
+		when, ev, ok := e.events.Pop()
+		if !ok {
+			break
+		}
+		e.now = when
+		processed++
+		if processed%ctxCheckInterval == 0 && ctx != nil {
+			select {
+			case <-ctx.Done():
+				// Like core.Engine, a cancelled run returns its partial
+				// results with Interrupted set and no error.
+				e.res.Interrupted = true
+				e.finalize()
+				return &e.res, nil
+			default:
+			}
+		}
+		switch ev.kind {
+		case evQueryStart:
+			e.startQuery(ev.q)
+		case evRound:
+			e.runRound(ev.q)
+		}
+	}
+	e.finalize()
+	return &e.res, nil
+}
+
+func (e *Engine) finalize() {
+	e.res.PeerLoads = e.loads
+}
+
+func (e *Engine) newQuery() *query {
+	if n := len(e.freeQ); n > 0 {
+		q := e.freeQ[n-1]
+		e.freeQ = e.freeQ[:n-1]
+		return q
+	}
+	return &query{informed: make([]bool, e.p.NetworkSize)}
+}
+
+func (e *Engine) recycle(q *query) {
+	for _, v := range q.spreaders {
+		q.informed[v] = false
+	}
+	q.spreaders = q.spreaders[:0]
+	e.freeQ = append(e.freeQ, q)
+}
+
+func (e *Engine) startQuery(q *query) {
+	e.nextQueryID++
+	q.id = e.nextQueryID
+	q.start = e.now
+	q.round = 0
+	q.messages = 0
+	q.item = e.universe.DrawQuery(e.rngWorkload)
+	for {
+		q.origin = e.rngWorkload.Intn(e.p.NetworkSize)
+		if !e.dead[q.origin] {
+			break
+		}
+	}
+	q.informed[q.origin] = true
+	q.spreaders = append(q.spreaders, q.origin)
+	q.results = e.libs[q.origin].Results(q.item)
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{
+			Kind: obs.EvQueryIssued, Time: e.now,
+			Query: q.id, Peer: uint64(q.origin),
+		})
+	}
+	if q.results >= e.p.NumDesiredResults {
+		e.finishQuery(q, true)
+		return
+	}
+	e.events.Push(e.now+e.p.RoundInterval, event{kind: evRound, q: q})
+}
+
+// runRound executes one synchronous gossip round for q and either
+// finishes the query or schedules the next round.
+func (e *Engine) runRound(q *query) {
+	q.round++
+	if e.met != nil {
+		e.met.Rounds.Inc()
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{
+			Kind: obs.EvProbeRound, Time: e.now,
+			Query: q.id, Peer: uint64(q.origin),
+			Round: q.round, Probes: int(q.messages),
+		})
+	}
+	if e.p.Mode == ModePush || e.p.Mode == ModePushPull {
+		// Peers infected during this round spread next round: snapshot
+		// the spreader count before appending.
+		count := len(q.spreaders)
+		for i := 0; i < count; i++ {
+			e.pushFrom(q, q.spreaders[i])
+		}
+	}
+	if e.p.Mode == ModePull || e.p.Mode == ModePushPull {
+		for v := 0; v < e.p.NetworkSize; v++ {
+			if e.dead[v] || q.informed[v] {
+				continue
+			}
+			e.pullFrom(q, v)
+		}
+	}
+	switch {
+	case q.results >= e.p.NumDesiredResults:
+		e.finishQuery(q, true)
+	case q.round >= e.p.MaxRounds || len(q.spreaders) == e.live:
+		e.finishQuery(q, false)
+	default:
+		e.events.Push(e.now+e.p.RoundInterval, event{kind: evRound, q: q})
+	}
+}
+
+// fanoutTargets samples min(Fanout, degree) distinct neighbors of v
+// into e.pick via a partial Fisher-Yates shuffle.
+func (e *Engine) fanoutTargets(v int) []int {
+	nbrs := e.topo.Neighbors(v)
+	k := e.p.Fanout
+	if k > len(nbrs) {
+		k = len(nbrs)
+	}
+	e.pick = e.pick[:0]
+	for i := range nbrs {
+		e.pick = append(e.pick, nbrs[i])
+	}
+	for i := 0; i < k; i++ {
+		j := i + e.rngSpread.Intn(len(e.pick)-i)
+		e.pick[i], e.pick[j] = e.pick[j], e.pick[i]
+	}
+	return e.pick[:k]
+}
+
+// send accounts one message from src to dst and reports whether it was
+// delivered (dst live and the message not lost).
+func (e *Engine) send(q *query, dst int) bool {
+	q.messages++
+	e.res.MessagesSent++
+	if e.met != nil {
+		e.met.Messages.Inc()
+	}
+	if e.rngNet.Bool(e.p.LossProb) || e.dead[dst] {
+		e.res.MessagesDropped++
+		if e.met != nil {
+			e.met.Dropped.Inc()
+		}
+		return false
+	}
+	e.res.MessagesDelivered++
+	e.loads[dst]++
+	if e.met != nil {
+		e.met.Delivered.Inc()
+	}
+	return true
+}
+
+// inform marks v as holding the rumor and collects v's results.
+func (e *Engine) inform(q *query, v int) {
+	q.informed[v] = true
+	q.spreaders = append(q.spreaders, v)
+	q.results += e.libs[v].Results(q.item)
+}
+
+// pushFrom has informed peer s push the rumor to Fanout random
+// neighbors. In push-pull mode each successful push also triggers a
+// response message back to s (the "exchange" half of the protocol).
+func (e *Engine) pushFrom(q *query, s int) {
+	for _, dst := range e.fanoutTargets(s) {
+		delivered := e.send(q, dst)
+		if e.observer != nil {
+			outcome := obs.OutcomeDead
+			if delivered {
+				outcome = obs.OutcomeGood
+			}
+			e.observer.Observe(obs.Event{
+				Kind: obs.EvProbe, Time: e.now,
+				Query: q.id, Peer: uint64(s), Target: uint64(dst),
+				Outcome: outcome,
+			})
+		}
+		if !delivered {
+			continue
+		}
+		if !q.informed[dst] {
+			e.inform(q, dst)
+		}
+		if e.p.Mode == ModePushPull {
+			e.send(q, s) // response; s is live by construction
+		}
+	}
+}
+
+// pullFrom has uninformed live peer v poll Fanout random neighbors;
+// informed live neighbors respond with the rumor.
+func (e *Engine) pullFrom(q *query, v int) {
+	for _, dst := range e.fanoutTargets(v) {
+		if !e.send(q, dst) {
+			continue
+		}
+		if !q.informed[dst] {
+			continue
+		}
+		// Response carrying the rumor back to v.
+		if !e.send(q, v) {
+			continue
+		}
+		if !q.informed[v] {
+			e.inform(q, v)
+		}
+	}
+}
+
+func (e *Engine) finishQuery(q *query, satisfied bool) {
+	e.res.Queries++
+	outcome := obs.OutcomeExhausted
+	if satisfied {
+		e.res.Satisfied++
+		outcome = obs.OutcomeSatisfied
+	} else {
+		e.res.Unsatisfied++
+	}
+	e.res.RoundsTotal += int64(q.round)
+	if q.round > e.res.MaxRoundsUsed {
+		e.res.MaxRoundsUsed = q.round
+	}
+	e.res.PeersInformed += int64(len(q.spreaders))
+	e.res.ResultsFound += int64(q.results)
+	e.res.ResponseTimeSum += e.now - q.start
+	if e.met != nil {
+		e.met.Queries.Inc()
+		if satisfied {
+			e.met.Satisfied.Inc()
+		} else {
+			e.met.Unsatisfied.Inc()
+		}
+		e.met.QueryRounds.Observe(float64(q.round))
+		e.met.QueryMessages.Observe(float64(q.messages))
+	}
+	if e.observer != nil {
+		e.observer.Observe(obs.Event{
+			Kind: obs.EvQueryDone, Time: e.now,
+			Query: q.id, Peer: uint64(q.origin),
+			Outcome: outcome, Probes: int(q.messages), Results: q.results,
+		})
+	}
+	e.recycle(q)
+}
+
+// Run is a convenience wrapper: build an engine and run it.
+func Run(ctx context.Context, params Params) (*Results, error) {
+	e, err := New(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx)
+}

@@ -1,0 +1,50 @@
+package obs
+
+// DHTMetrics binds the DHT-lookup metric names in a registry and hands
+// the engine pre-resolved instruments, mirroring SimMetrics for the
+// GUESS engine. All counters cover the whole run (the DHT engine has no
+// warmup window), so a metrics snapshot and the returned dht.Results
+// agree. Several engines may share one DHTMetrics: every instrument is
+// atomic, and the counters then aggregate across runs.
+//
+// See README.md, "Observability", for the metric name table.
+type DHTMetrics struct {
+	Lookups     *Counter
+	Satisfied   *Counter
+	Unsatisfied *Counter
+
+	Messages  *Counter
+	Delivered *Counter
+	Dropped   *Counter
+
+	Hops      *Counter
+	CacheHits *Counter
+
+	// LookupHops is the per-completed-lookup hop-count distribution.
+	LookupHops *Histogram
+}
+
+// DHTHopBuckets spans local hits (0 hops) through the routing budget.
+var DHTHopBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48}
+
+// NewDHTMetrics registers the DHT metric set in reg. A nil registry
+// yields nil, which the engine treats as metrics-off.
+func NewDHTMetrics(reg *Registry) *DHTMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &DHTMetrics{
+		Lookups:     reg.Counter("guess_dht_lookups_total", "Completed DHT lookups."),
+		Satisfied:   reg.Counter("guess_dht_lookups_satisfied_total", "DHT lookups that found a record meeting NumDesiredResults."),
+		Unsatisfied: reg.Counter("guess_dht_lookups_unsatisfied_total", "DHT lookups that missed, lost their response, or exhausted the hop budget."),
+
+		Messages:  reg.Counter("guess_dht_messages_total", "DHT messages sent (routing hops and direct responses)."),
+		Delivered: reg.Counter("guess_dht_messages_delivered_total", "DHT messages delivered to live peers."),
+		Dropped:   reg.Counter("guess_dht_messages_dropped_total", "DHT messages lost in transit or sent to dead peers."),
+
+		Hops:      reg.Counter("guess_dht_hops_total", "Routing hop attempts across all lookups."),
+		CacheHits: reg.Counter("guess_dht_cache_hits_total", "Lookups answered from a replica cache instead of the owner."),
+
+		LookupHops: reg.Histogram("guess_dht_lookup_hops", "Hop attempts per completed DHT lookup.", DHTHopBuckets),
+	}
+}

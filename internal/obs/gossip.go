@@ -1,0 +1,57 @@
+package obs
+
+// GossipMetrics binds the gossip-search metric names in a registry and
+// hands the engine pre-resolved instruments, mirroring SimMetrics for
+// the GUESS engine. All counters cover the whole run (the gossip engine
+// has no warmup window), so a metrics snapshot and the returned
+// gossip.Results agree. Several engines may share one GossipMetrics:
+// every instrument is atomic, and the counters then aggregate across
+// runs.
+//
+// See README.md, "Observability", for the metric name table.
+type GossipMetrics struct {
+	Queries     *Counter
+	Satisfied   *Counter
+	Unsatisfied *Counter
+
+	Messages  *Counter
+	Delivered *Counter
+	Dropped   *Counter
+
+	Rounds *Counter
+
+	// QueryRounds and QueryMessages are per-completed-query
+	// distributions (rounds used; gossip messages sent).
+	QueryRounds   *Histogram
+	QueryMessages *Histogram
+}
+
+// Default histogram buckets: round counts stay small (round budgets are
+// tens, not thousands); per-query message counts are log-spaced like
+// probe counts.
+var (
+	GossipRoundBuckets   = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	GossipMessageBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+)
+
+// NewGossipMetrics registers the gossip metric set in reg. A nil
+// registry yields nil, which the engine treats as metrics-off.
+func NewGossipMetrics(reg *Registry) *GossipMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &GossipMetrics{
+		Queries:     reg.Counter("guess_gossip_queries_total", "Completed gossip queries."),
+		Satisfied:   reg.Counter("guess_gossip_queries_satisfied_total", "Gossip queries that reached NumDesiredResults."),
+		Unsatisfied: reg.Counter("guess_gossip_queries_unsatisfied_total", "Gossip queries that ended below NumDesiredResults."),
+
+		Messages:  reg.Counter("guess_gossip_messages_total", "Gossip messages sent (rumor pushes, pull requests, and responses)."),
+		Delivered: reg.Counter("guess_gossip_messages_delivered_total", "Gossip messages delivered to live peers."),
+		Dropped:   reg.Counter("guess_gossip_messages_dropped_total", "Gossip messages lost in transit or sent to dead peers."),
+
+		Rounds: reg.Counter("guess_gossip_rounds_total", "Gossip rounds executed across all queries."),
+
+		QueryRounds:   reg.Histogram("guess_gossip_query_rounds", "Rounds used per completed gossip query.", GossipRoundBuckets),
+		QueryMessages: reg.Histogram("guess_gossip_query_messages", "Messages sent per completed gossip query.", GossipMessageBuckets),
+	}
+}
