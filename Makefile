@@ -58,12 +58,19 @@ test-short:
 test-chaos:
 	$(GO) test -race -count=2 -run Chaos ./node
 
-# Race-detect the goroutine-spawning packages (live node + experiment
-# harness). -short keeps the experiment sweeps to the cheap ones — the
-# race detector's ~20x slowdown would push the full battery past the
-# default test timeout — while still covering the worker-pool fan-out.
+# Race-detect the goroutine-spawning packages (live node, experiment
+# harness, sharded engine). -short keeps the experiment sweeps to the
+# cheap ones — the race detector's ~20x slowdown would push the full
+# battery past the default test timeout — while still covering the
+# worker-pool fan-out. The core leg runs the shard-count invariance
+# suite plus the parallel sample/WCC scan tests: the engine's worker
+# goroutines only exist at Shards>1, and these are the tests that
+# drive them.
 race:
 	$(GO) test -race -short -timeout 15m ./node/... ./internal/experiments
+	$(GO) test -race -short -timeout 15m \
+	  -run 'TestShardCountInvariance|TestLargestWCCParallelMatchesSerial|TestRenewMatchesFresh|TestShardedLargeRunSmoke' \
+	  ./internal/core
 
 # Ten seconds of coverage-guided fuzzing each over the wire decoder,
 # the snapshot decoder, and the gossip/DHT parameter spaces: cheap
@@ -79,11 +86,12 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One iteration of the headline benchmark plus the hot-path
+# One iteration of the headline benchmarks (the default-config run and
+# the 100k-peer scaling run, serial and sharded) plus the hot-path
 # microbenchmarks: catches benchmark bit-rot and allocation regressions
-# in seconds, so it rides along in `make all`.
+# on every `make all`.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$|BenchmarkLargeRun' -benchmem -benchtime 1x -timeout 30m .
 	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
 
 # Record a benchmark trajectory point: the headline simulation
@@ -93,19 +101,24 @@ bench-smoke:
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	{ $(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 5x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkLargeRun' -benchmem -benchtime 1x -timeout 30m . && \
 	  $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS); } \
 	  | tee /dev/stderr | /tmp/benchjson -o BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
 
-# Compare a fresh BenchmarkSingleRun against the recorded trajectory
+# Compare fresh headline benchmarks against the recorded trajectory
 # point: fails if allocs/op (iteration-exact, machine-independent)
-# grows past 110% of the baseline. Override with
+# grows past 110% of the baseline for either the default-config run or
+# the 100k-peer scaling run. Override with
 # `make bench-check BENCH_BASELINE=BENCH_<date>.json`.
-BENCH_BASELINE ?= BENCH_20260805.json
+BENCH_BASELINE ?= BENCH_20260808.json
 bench-check:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 3x . \
-	  | tee /dev/stderr | /tmp/benchjson -check $(BENCH_BASELINE)
+	{ $(GO) test -run '^$$' -bench 'BenchmarkSingleRun$$' -benchmem -benchtime 3x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkLargeRun/shards=1' -benchmem -benchtime 1x -timeout 30m .; } \
+	  | tee /dev/stderr \
+	  | /tmp/benchjson -check $(BENCH_BASELINE) \
+	      -benchmark 'BenchmarkSingleRun,BenchmarkLargeRun/shards=1'
 
 # End-to-end smoke of the observability endpoints: start a live node
 # with -metrics, scrape /metrics and /metrics.json, and validate the

@@ -49,7 +49,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout)")
 	check := fs.String("check", "", "baseline BENCH_<date>.json: compare instead of record")
-	benchmark := fs.String("benchmark", "BenchmarkSingleRun", "benchmark name to compare with -check")
+	benchmark := fs.String("benchmark", "BenchmarkSingleRun", "comma-separated benchmark names to compare with -check")
 	maxRatio := fs.Float64("max-ratio", 1.10, "fail -check when allocs/op exceeds baseline by this factor")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +74,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *check != "" {
-		return checkAgainst(*check, *benchmark, *maxRatio, results, stdout)
+		for _, name := range strings.Split(*benchmark, ",") {
+			if err := checkAgainst(*check, strings.TrimSpace(name), *maxRatio, results, stdout); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	rec := record{

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes reports the process's peak resident set size, or 0
+// where the platform offers no cheap way to read it (the report line
+// simply omits it).
+func peakRSSBytes() int64 { return 0 }

@@ -39,11 +39,30 @@ type Entry struct {
 // slots (stable indices are not guaranteed across removals) and
 // rejects duplicate addresses. The zero value is unusable; call
 // NewLinkCache.
+//
+// Small caches (capacity <= linearIndexMax, which covers the paper's
+// default CacheSize) are fully flat: lookups scan a dense parallel
+// address slice instead of a hash map. A scan of at most 128
+// contiguous 8-byte addresses costs about what one map probe does,
+// and dropping the map roughly halves the per-peer footprint — the
+// difference between a million-peer simulation fitting in memory or
+// not, since link caches dominate the simulator's heap. Large caches
+// (the paper's multi-thousand-entry sweeps) keep the map index.
 type LinkCache struct {
 	capacity int
 	entries  []Entry
-	index    map[PeerID]int
+	// addrs mirrors entries[i].Addr; it is the flat lookup index for
+	// small caches (nil when the map index is in use). Kept separate
+	// from entries so the scan touches 4x fewer cache lines.
+	addrs []PeerID
+	// index maps addresses to slots for large caches; nil for small
+	// ones.
+	index map[PeerID]int
 }
+
+// linearIndexMax is the largest capacity served by the flat linear
+// index. Above it, lookup cost would grow past a map probe's.
+const linearIndexMax = 128
 
 // NewLinkCache returns an empty link cache with the given capacity
 // (the paper's CacheSize). It panics if capacity <= 0, which is always
@@ -52,11 +71,32 @@ func NewLinkCache(capacity int) *LinkCache {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: non-positive link cache capacity %d", capacity))
 	}
-	return &LinkCache{
+	c := &LinkCache{
 		capacity: capacity,
 		entries:  make([]Entry, 0, min(capacity, 256)),
-		index:    make(map[PeerID]int, min(capacity, 256)),
 	}
+	if capacity <= linearIndexMax {
+		c.addrs = make([]PeerID, 0, capacity)
+	} else {
+		c.index = make(map[PeerID]int, min(capacity, 256))
+	}
+	return c
+}
+
+// find returns addr's slot, or -1 when absent.
+func (c *LinkCache) find(addr PeerID) int {
+	if c.index != nil {
+		if i, ok := c.index[addr]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, a := range c.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
 }
 
 // Cap returns the cache's capacity.
@@ -70,14 +110,13 @@ func (c *LinkCache) Full() bool { return len(c.entries) >= c.capacity }
 
 // Has reports whether addr is present.
 func (c *LinkCache) Has(addr PeerID) bool {
-	_, ok := c.index[addr]
-	return ok
+	return c.find(addr) >= 0
 }
 
 // Get returns the entry for addr, if present.
 func (c *LinkCache) Get(addr PeerID) (Entry, bool) {
-	i, ok := c.index[addr]
-	if !ok {
+	i := c.find(addr)
+	if i < 0 {
 		return Entry{}, false
 	}
 	return c.entries[i], true
@@ -110,7 +149,11 @@ func (c *LinkCache) Add(e Entry) bool {
 	if c.Full() || c.Has(e.Addr) {
 		return false
 	}
-	c.index[e.Addr] = len(c.entries)
+	if c.index != nil {
+		c.index[e.Addr] = len(c.entries)
+	} else {
+		c.addrs = append(c.addrs, e.Addr)
+	}
 	c.entries = append(c.entries, e)
 	return true
 }
@@ -123,28 +166,37 @@ func (c *LinkCache) ReplaceAt(i int, e Entry) {
 		panic(fmt.Sprintf("cache: ReplaceAt(%d) with %d entries", i, len(c.entries)))
 	}
 	old := c.entries[i]
-	if j, ok := c.index[e.Addr]; ok && j != i {
+	if j := c.find(e.Addr); j >= 0 && j != i {
 		panic(fmt.Sprintf("cache: ReplaceAt would duplicate addr %d", e.Addr))
 	}
-	delete(c.index, old.Addr)
+	if c.index != nil {
+		delete(c.index, old.Addr)
+		c.index[e.Addr] = i
+	} else {
+		c.addrs[i] = e.Addr
+	}
 	c.entries[i] = e
-	c.index[e.Addr] = i
 }
 
 // Remove deletes addr, reporting whether it was present. Removal is
 // O(1) via swap-with-last, so entry order is not stable.
 func (c *LinkCache) Remove(addr PeerID) bool {
-	i, ok := c.index[addr]
-	if !ok {
+	i := c.find(addr)
+	if i < 0 {
 		return false
 	}
 	last := len(c.entries) - 1
 	moved := c.entries[last]
 	c.entries[i] = moved
 	c.entries = c.entries[:last]
-	delete(c.index, addr)
-	if i != last {
-		c.index[moved.Addr] = i
+	if c.index != nil {
+		delete(c.index, addr)
+		if i != last {
+			c.index[moved.Addr] = i
+		}
+	} else {
+		c.addrs[i] = c.addrs[last]
+		c.addrs = c.addrs[:last]
 	}
 	return true
 }
@@ -153,7 +205,7 @@ func (c *LinkCache) Remove(addr PeerID) bool {
 // protocol, TS is refreshed on every interaction regardless of which
 // party initiated it.
 func (c *LinkCache) Touch(addr PeerID, now float64) {
-	if i, ok := c.index[addr]; ok {
+	if i := c.find(addr); i >= 0 {
 		c.entries[i].TS = now
 	}
 }
@@ -161,7 +213,7 @@ func (c *LinkCache) Touch(addr PeerID, now float64) {
 // SetNumRes records the owner's direct experience: the target at addr
 // just returned n results. It also marks the entry Direct.
 func (c *LinkCache) SetNumRes(addr PeerID, n int32) {
-	if i, ok := c.index[addr]; ok {
+	if i := c.find(addr); i >= 0 {
 		c.entries[i].NumRes = n
 		c.entries[i].Direct = true
 	}
@@ -173,6 +225,7 @@ func (c *LinkCache) SetNumRes(addr PeerID, n int32) {
 // exactly like a fresh NewLinkCache of the same capacity).
 func (c *LinkCache) Clear() {
 	c.entries = c.entries[:0]
+	c.addrs = c.addrs[:0]
 	clear(c.index)
 }
 
@@ -182,11 +235,15 @@ func (c *LinkCache) checkInvariants() {
 	if len(c.entries) > c.capacity {
 		panic("cache: over capacity")
 	}
-	if len(c.index) != len(c.entries) {
-		panic("cache: index size mismatch")
+	if c.index != nil {
+		if len(c.index) != len(c.entries) {
+			panic("cache: index size mismatch")
+		}
+	} else if len(c.addrs) != len(c.entries) {
+		panic("cache: addrs size mismatch")
 	}
 	for i, e := range c.entries {
-		if j, ok := c.index[e.Addr]; !ok || j != i {
+		if j := c.find(e.Addr); j != i {
 			panic("cache: index points to wrong slot")
 		}
 	}

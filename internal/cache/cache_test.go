@@ -162,7 +162,7 @@ func TestLinkCacheProperty(t *testing.T) {
 				if c.Len() > 0 {
 					i := r.Intn(c.Len())
 					// Replace only when it would not duplicate.
-					if j, ok := c.index[addr]; !ok || j == i {
+					if j := c.find(addr); j < 0 || j == i {
 						c.ReplaceAt(i, Entry{Addr: addr})
 					}
 				}
@@ -272,4 +272,76 @@ func TestClearRetainsCapacityAndEmpties(t *testing.T) {
 		t.Fatal("refilled cache not full")
 	}
 	c.checkInvariants()
+}
+
+// TestLinkCacheIndexRegimesAgree drives a flat-indexed cache (capacity
+// = linearIndexMax) and a map-indexed one (capacity = linearIndexMax+1)
+// through an identical randomized script. The address space is kept
+// small enough that neither cache ever fills, so capacity cannot
+// influence behavior and every observable — membership, entry fields,
+// lengths — must agree between the two index implementations.
+func TestLinkCacheIndexRegimesAgree(t *testing.T) {
+	flat := NewLinkCache(linearIndexMax)
+	mapped := NewLinkCache(linearIndexMax + 1)
+	if flat.index != nil || flat.addrs == nil {
+		t.Fatal("capacity <= linearIndexMax did not select the flat index")
+	}
+	if mapped.index == nil || mapped.addrs != nil {
+		t.Fatal("capacity > linearIndexMax did not select the map index")
+	}
+	r := simrng.New(7)
+	const addrSpace = 48 // << both capacities: neither cache ever fills
+	for step := 0; step < 20000; step++ {
+		addr := PeerID(r.Intn(addrSpace))
+		switch r.Intn(5) {
+		case 0:
+			a := flat.Add(Entry{Addr: addr, TS: float64(step)})
+			b := mapped.Add(Entry{Addr: addr, TS: float64(step)})
+			if a != b {
+				t.Fatalf("step %d: Add(%d) flat=%v map=%v", step, addr, a, b)
+			}
+		case 1:
+			a := flat.Remove(addr)
+			b := mapped.Remove(addr)
+			if a != b {
+				t.Fatalf("step %d: Remove(%d) flat=%v map=%v", step, addr, a, b)
+			}
+		case 2:
+			flat.Touch(addr, float64(step))
+			mapped.Touch(addr, float64(step))
+		case 3:
+			flat.SetNumRes(addr, int32(step%7))
+			mapped.SetNumRes(addr, int32(step%7))
+		case 4:
+			if flat.Len() > 0 {
+				// ReplaceAt targets the slot holding a common address so
+				// both caches mutate the same logical entry; skip when the
+				// replacement would duplicate.
+				victim := flat.entries[r.Intn(flat.Len())].Addr
+				if flat.Has(addr) && addr != victim {
+					continue
+				}
+				flat.ReplaceAt(flat.find(victim), Entry{Addr: addr, TS: float64(step)})
+				mapped.ReplaceAt(mapped.find(victim), Entry{Addr: addr, TS: float64(step)})
+			}
+		}
+		flat.checkInvariants()
+		mapped.checkInvariants()
+		if flat.Len() != mapped.Len() {
+			t.Fatalf("step %d: Len flat=%d map=%d", step, flat.Len(), mapped.Len())
+		}
+		for _, e := range flat.entries {
+			g, ok := mapped.Get(e.Addr)
+			if !ok || g != e {
+				t.Fatalf("step %d: entry %d flat=%+v map=%+v (ok=%v)", step, e.Addr, e, g, ok)
+			}
+		}
+	}
+	flat.Clear()
+	mapped.Clear()
+	if flat.Len() != 0 || mapped.Len() != 0 || flat.Has(1) || mapped.Has(1) {
+		t.Fatal("Clear left residue")
+	}
+	flat.checkInvariants()
+	mapped.checkInvariants()
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/content"
@@ -19,7 +21,9 @@ import (
 
 // fakeAddrBase is the start of the address range used for fabricated
 // (never-live) addresses returned by malicious peers. Real peer IDs
-// grow upward from 1 and can never reach it.
+// grow upward from 1 and can never reach it; it is far beyond the
+// peerStore's dense index table, so fabricated addresses resolve to
+// "dead" by the same bounds check as any other unknown ID.
 const fakeAddrBase cache.PeerID = 1 << 40
 
 // event kinds dispatched by the simulation loop.
@@ -42,7 +46,8 @@ type event struct {
 
 // Engine runs one GUESS simulation. Create with New, run with Run.
 // An Engine is single-use and not safe for concurrent use; run many
-// engines in parallel for sweeps.
+// engines in parallel for sweeps, or chain Renew to recycle one
+// engine's storage across sequential runs.
 type Engine struct {
 	p        Params
 	universe *content.Universe
@@ -58,13 +63,20 @@ type Engine struct {
 	rngPolicy   *simrng.RNG // random policy picks, eviction
 	rngIntro    *simrng.RNG // introduction coin flips
 
-	now    float64
-	end    float64
-	events eventq.Queue[event]
+	now float64
+	end float64
+	// events is sharded by peer ID and merged on (time, global push
+	// order), which reproduces exactly the total order of a single
+	// queue — so any shard count yields the same run, byte for byte
+	// (see eventq.Sharded and the shard determinism suite).
+	events  *eventq.Sharded[event]
+	nshards int
 
-	peers    map[cache.PeerID]*peer
-	alive    []*peer
-	bad      []*peer // live malicious peers (for colluding pongs)
+	// ps is the struct-of-arrays peer state; bad tracks the IDs of live
+	// malicious peers (for colluding pongs). IDs rather than slots:
+	// slots move on every death, IDs never do.
+	ps       peerStore
+	bad      []cache.PeerID
 	nextID   cache.PeerID
 	nextFake cache.PeerID
 
@@ -104,17 +116,30 @@ type Engine struct {
 	// which the golden-trace test locks in.
 	polScratch policy.Scratch // selection scratch for every PickN
 	pongBuf    []cache.Entry  // pong under construction; consumed before the next build
-	badBuf     []*peer        // colluder candidates for BadPongBad pongs
+	badBuf     []cache.PeerID // colluder candidates for BadPongBad pongs
 	wcc        overlay.WCCScratch
 	traceBuf   []byte // one CSV row, rebuilt in place per sample
 
+	// Sample-scan scratch: per-peer live/good entry counts filled by the
+	// (optionally parallel) scan phase, then reduced sequentially in
+	// slot order so the floating-point accumulation sequence is
+	// identical at every shard count. edgeBufs holds per-worker overlay
+	// edges for the connectivity sample.
+	samplePl []int32
+	samplePg []int32
+	edgeBufs [][]int32
+
 	// Free lists recycling the per-churn and per-query allocations:
-	// dead peers donate their link cache and library storage to the
-	// next birth, completed queries donate their selector and visited
-	// set to the next query.
-	freeQueries []*query
-	freeCaches  []*cache.LinkCache
-	freeLibs    []content.Library
+	// dead peers donate their link cache, library storage and
+	// poison/back-off maps to the next birth, completed queries donate
+	// their selector and visited set to the next query.
+	freeQueries    []*query
+	freeCaches     []cache.LinkCache
+	freeLibs       []content.Library
+	freeProvenance []map[cache.PeerID]cache.PeerID
+	freePongStats  []map[cache.PeerID]supplierRecord
+	freeBlacklist  []map[cache.PeerID]bool
+	freeSuppressed []map[cache.PeerID]float64
 
 	// noReuse (tests only) disables every recycling fast path above and
 	// falls back to the allocating reference implementations, so
@@ -125,8 +150,29 @@ type Engine struct {
 	ran bool
 }
 
-// New validates params and builds an engine ready to Run.
+// New validates params and builds an engine ready to Run, with every
+// arena sized once from Params.NetworkSize.
 func New(params Params) (*Engine, error) {
+	return newEngine(params, nil)
+}
+
+// Renew builds an engine for params that inherits the receiver's
+// storage — peer arrays, link caches, libraries, event queue, scratch
+// and free lists — instead of reallocating them, so a worker sweeping
+// many configurations allocates its arenas once. The receiver must
+// have finished Run and is unusable afterwards. Recycling is
+// draw-order-neutral: a Renewed engine's run is byte-identical to a
+// fresh engine's (TestRenewMatchesFresh pins this), because every
+// recycled structure is either fully overwritten or cleared, and none
+// of the cleared maps is ever iterated.
+func (e *Engine) Renew(params Params) (*Engine, error) {
+	if !e.ran {
+		return nil, fmt.Errorf("core: Renew before Run")
+	}
+	return newEngine(params, e)
+}
+
+func newEngine(params Params, recycle *Engine) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -157,14 +203,93 @@ func New(params Params) (*Engine, error) {
 		rngWorkload: root.Stream("workload"),
 		rngPolicy:   root.Stream("policy"),
 		rngIntro:    root.Stream("intro"),
-		peers:       make(map[cache.PeerID]*peer, params.NetworkSize*2),
-		alive:       make([]*peer, 0, params.NetworkSize),
+		nshards:     params.shardCount(),
 		nextID:      1,
 		nextFake:    fakeAddrBase,
 		lieFiles:    int32(universe.MaxLibrary()),
 		lieRes:      1000,
 	}
+	if recycle != nil {
+		e.adoptStorage(recycle)
+	}
+	e.ps.init(params.NetworkSize)
+	if e.events == nil {
+		e.events = eventq.NewSharded[event](e.nshards)
+	}
 	return e, nil
+}
+
+// adoptStorage moves a finished engine's recyclable storage into e:
+// the peer arrays wholesale, the live population's caches, libraries
+// and state maps into the free lists, and the reusable scratch. Pools
+// whose element shape depends on parameters (link caches are
+// capacity-bound) are dropped on mismatch rather than reused.
+func (e *Engine) adoptStorage(old *Engine) {
+	// Harvest the final population before taking the arrays.
+	if !old.noReuse {
+		for i := 0; i < old.ps.len(); i++ {
+			old.recycleSlotStorage(i)
+		}
+	}
+	e.ps = old.ps
+	if old.events.Shards() == e.nshards {
+		old.events.Reset()
+		e.events = old.events
+	}
+	e.bad = old.bad[:0]
+	e.polScratch = old.polScratch
+	e.pongBuf = old.pongBuf[:0]
+	e.badBuf = old.badBuf[:0]
+	e.wcc = old.wcc
+	e.traceBuf = old.traceBuf[:0]
+	e.samplePl = old.samplePl[:0]
+	e.samplePg = old.samplePg[:0]
+	e.edgeBufs = old.edgeBufs
+	e.freeQueries = old.freeQueries
+	e.freeLibs = old.freeLibs
+	e.freeProvenance = old.freeProvenance
+	e.freePongStats = old.freePongStats
+	e.freeBlacklist = old.freeBlacklist
+	e.freeSuppressed = old.freeSuppressed
+	if len(old.freeCaches) > 0 && old.freeCaches[0].Cap() == e.p.CacheSize {
+		e.freeCaches = old.freeCaches
+	}
+	e.noReuse = old.noReuse
+}
+
+// recycleSlotStorage clears slot i's link cache, library and state
+// maps into the free lists. Only called with reuse enabled.
+func (e *Engine) recycleSlotStorage(i int) {
+	link := e.ps.link[i]
+	if link.Cap() > 0 {
+		link.Clear()
+		e.freeCaches = append(e.freeCaches, link)
+		e.ps.link[i] = cache.LinkCache{}
+	}
+	if e.ps.lib[i].Size() > 0 {
+		e.freeLibs = append(e.freeLibs, e.ps.lib[i])
+		e.ps.lib[i] = content.Library{}
+	}
+	if m := e.ps.provenance[i]; m != nil {
+		clear(m)
+		e.freeProvenance = append(e.freeProvenance, m)
+		e.ps.provenance[i] = nil
+	}
+	if m := e.ps.pongStats[i]; m != nil {
+		clear(m)
+		e.freePongStats = append(e.freePongStats, m)
+		e.ps.pongStats[i] = nil
+	}
+	if m := e.ps.blacklist[i]; m != nil {
+		clear(m)
+		e.freeBlacklist = append(e.freeBlacklist, m)
+		e.ps.blacklist[i] = nil
+	}
+	if m := e.ps.suppressed[i]; m != nil {
+		clear(m)
+		e.freeSuppressed = append(e.freeSuppressed, m)
+		e.ps.suppressed[i] = nil
+	}
 }
 
 // SetObserver attaches an observer receiving lifecycle and query trace
@@ -188,6 +313,26 @@ func (e *Engine) SetProgress(w io.Writer) { e.progress = w }
 // simulated work.
 const ctxCheckInterval = 512
 
+// push schedules ev at time t on its home shard. Routing is by peer ID
+// (queries live on their origin's shard; the sampler on shard 0), but
+// because the sharded queue merges on global push order, the routing
+// choice affects only which heap holds an event — never the order
+// events fire, and therefore never a result.
+func (e *Engine) push(t float64, ev event) {
+	shard := 0
+	if e.nshards > 1 {
+		switch ev.kind {
+		case evProbeStep:
+			shard = int(uint64(ev.q.origin) % uint64(e.nshards))
+		case evSample:
+			shard = 0
+		default:
+			shard = int(uint64(ev.peer) % uint64(e.nshards))
+		}
+	}
+	e.events.Push(shard, t, ev)
+}
+
 // Run executes the simulation and returns its measurements. It can be
 // called once. A nil ctx is treated as context.Background. When ctx is
 // cancelled mid-run the loop stops at the next event-batch boundary and
@@ -201,7 +346,7 @@ func (e *Engine) Run(ctx context.Context) (*Results, error) {
 	e.end = e.p.WarmupTime + e.p.MeasureTime
 
 	e.bootstrap()
-	e.events.Push(e.p.WarmupTime, event{kind: evSample})
+	e.push(e.p.WarmupTime, event{kind: evSample})
 
 	var processed uint64
 	for {
@@ -260,44 +405,56 @@ func (e *Engine) bootstrap() {
 	// Seed link caches with live peers, as in the paper's time-zero
 	// setup (entries carry the target's true file count).
 	seed := e.p.seedSize()
-	for _, p := range e.alive {
-		for _, j := range e.samplePeers(e.rngSeeding, seed, p.id) {
-			target := e.alive[j]
-			p.link.Add(cache.Entry{
-				Addr:     target.id,
+	for p := 0; p < e.ps.len(); p++ {
+		for _, j := range e.samplePeers(e.rngSeeding, seed, e.ps.id[p]) {
+			e.ps.link[p].Add(cache.Entry{
+				Addr:     e.ps.id[j],
 				TS:       0,
-				NumFiles: target.advertisedFiles,
+				NumFiles: e.ps.advertisedFiles[j],
 			})
 		}
 	}
 }
 
-// samplePeers draws up to k distinct indices into e.alive, excluding
-// the peer with the given id, via Floyd's sampling.
+// samplePeers draws up to k distinct slot indices, excluding the peer
+// with the given id, via Floyd's sampling. The returned slice aliases
+// the policy scratch and is valid until the next selection call.
 func (e *Engine) samplePeers(r *simrng.RNG, k int, exclude cache.PeerID) []int {
-	n := len(e.alive)
+	n := e.ps.len()
 	if k > n {
 		k = n
 	}
-	chosen := make(map[int]bool, k)
-	out := make([]int, 0, k)
-	for i := n - k; i < n; i++ {
-		j := r.Intn(i + 1)
-		if chosen[j] {
-			j = i
+	var idx []int
+	if e.noReuse {
+		// Allocating reference: the classic map-based Floyd loop, kept
+		// so the reuse determinism suite can pin the scratch path
+		// against it (identical Intn sequence, identical indices).
+		chosen := make(map[int]bool, k)
+		idx = make([]int, 0, k)
+		for i := n - k; i < n; i++ {
+			j := r.Intn(i + 1)
+			if chosen[j] {
+				j = i
+			}
+			chosen[j] = true
+			idx = append(idx, j)
 		}
-		chosen[j] = true
-		if e.alive[j].id == exclude {
-			continue
+	} else {
+		idx = e.polScratch.SampleIndices(r, n, k)
+	}
+	out := idx[:0]
+	for _, j := range idx {
+		if e.ps.id[j] != exclude {
+			out = append(out, j)
 		}
-		out = append(out, j)
 	}
 	return out
 }
 
-// spawnPeer creates a peer at the current time, registers it, and
-// schedules its lifecycle events. Cache seeding is the caller's job.
-func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
+// spawnPeer creates a peer at the current time, registers it in the
+// next free slot, and schedules its lifecycle events. Cache seeding is
+// the caller's job. Returns the new peer's slot.
+func (e *Engine) spawnPeer(malicious, selfish bool) int {
 	id := e.nextID
 	e.nextID++
 	libSize := e.universe.SampleLibrarySize(e.rngContent)
@@ -309,35 +466,33 @@ func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
 	} else {
 		lib = e.universe.NewLibrary(e.rngContent, libSize)
 	}
-	var link *cache.LinkCache
+	var link cache.LinkCache
 	if n := len(e.freeCaches); n > 0 {
 		link = e.freeCaches[n-1]
-		e.freeCaches[n-1] = nil
+		e.freeCaches[n-1] = cache.LinkCache{}
 		e.freeCaches = e.freeCaches[:n-1]
 	} else {
-		link = cache.NewLinkCache(e.p.CacheSize)
+		link = *cache.NewLinkCache(e.p.CacheSize)
 	}
 	advertised := int32(lib.Size())
 	if malicious {
 		advertised = e.lieFiles
 	}
-	p := &peer{
-		id:              id,
-		born:            e.now,
-		deathAt:         e.now + e.life.Sample(e.rngChurn),
-		lib:             lib,
-		advertisedFiles: advertised,
-		malicious:       malicious,
-		selfish:         selfish,
-		link:            link,
-		aliveIdx:        len(e.alive),
-		winStart:        -1,
-		pingInterval:    e.p.PingInterval,
-	}
-	e.peers[id] = p
-	e.alive = append(e.alive, p)
+	deathAt := e.now + e.life.Sample(e.rngChurn)
+
+	slot := e.ps.grow()
+	e.ps.id[slot] = id
+	e.ps.advertisedFiles[slot] = advertised
+	e.ps.malicious[slot] = malicious
+	e.ps.selfish[slot] = selfish
+	e.ps.lib[slot] = lib
+	e.ps.link[slot] = link
+	e.ps.pingInterval[slot] = e.p.PingInterval
+	e.ps.winStart[slot] = -1
+	e.ps.byID = append(e.ps.byID, int32(slot))
+
 	if malicious {
-		e.bad = append(e.bad, p)
+		e.bad = append(e.bad, id)
 	}
 	e.res.Births++
 	if e.met != nil {
@@ -347,32 +502,39 @@ func (e *Engine) spawnPeer(malicious, selfish bool) *peer {
 		e.observer.Observe(obs.Event{Kind: obs.EvPeerBirth, Time: e.now, Peer: uint64(id)})
 	}
 
-	e.events.Push(p.deathAt, event{kind: evDeath, peer: id})
-	e.events.Push(e.now+e.rngChurn.Float64()*p.pingInterval, event{kind: evPing, peer: id})
+	e.push(deathAt, event{kind: evDeath, peer: id})
+	e.push(e.now+e.rngChurn.Float64()*e.p.PingInterval, event{kind: evPing, peer: id})
 	if e.p.QueriesEnabled && !malicious {
 		delay, _ := e.gen.NextBurst(e.rngWorkload)
-		e.events.Push(e.now+delay, event{kind: evBurst, peer: id})
+		e.push(e.now+delay, event{kind: evBurst, peer: id})
 	}
-	return p
+	return slot
 }
 
 // handleDeath removes a peer and spawns its replacement, keeping the
 // live population (and the malicious fraction) constant.
 func (e *Engine) handleDeath(id cache.PeerID) {
-	p, ok := e.peers[id]
-	if !ok {
+	slot := e.ps.slotOf(id)
+	if slot < 0 {
 		return
 	}
-	delete(e.peers, id)
-	// Swap-remove from the alive slice.
-	last := len(e.alive) - 1
-	moved := e.alive[last]
-	e.alive[p.aliveIdx] = moved
-	moved.aliveIdx = p.aliveIdx
-	e.alive = e.alive[:last]
-	if p.malicious {
+	// Capture the dying peer's fields: the swap-remove below overwrites
+	// its slot with the last slot's peer.
+	malicious := e.ps.malicious[slot]
+	selfish := e.ps.selfish[slot]
+	probesReceived := e.ps.probesReceived[slot]
+	link := e.ps.link[slot]
+	lib := e.ps.lib[slot]
+	provenance := e.ps.provenance[slot]
+	pongStats := e.ps.pongStats[slot]
+	blacklist := e.ps.blacklist[slot]
+	suppressed := e.ps.suppressed[slot]
+
+	e.ps.byID[id] = -1
+	e.ps.swapRemove(slot)
+	if malicious {
 		for i, b := range e.bad {
-			if b == p {
+			if b == id {
 				e.bad[i] = e.bad[len(e.bad)-1]
 				e.bad = e.bad[:len(e.bad)-1]
 				break
@@ -387,41 +549,52 @@ func (e *Engine) handleDeath(id cache.PeerID) {
 		e.observer.Observe(obs.Event{Kind: obs.EvPeerDeath, Time: e.now, Peer: uint64(id)})
 	}
 	if e.now >= e.p.WarmupTime {
-		e.loads = append(e.loads, p.probesReceived)
+		e.loads = append(e.loads, probesReceived)
 	}
 
-	// The dead peer is fully unlinked now; recycle its cache and
-	// library storage for the replacement (nothing reads them again —
+	// The dead peer is fully unlinked now; recycle its cache, library
+	// and state-map storage for later births (nothing reads them again —
 	// see the Entries aliasing audit in cache.LinkCache).
 	if !e.noReuse {
-		p.link.Clear()
-		e.freeCaches = append(e.freeCaches, p.link)
-		p.link = nil
-		if p.lib.Size() > 0 {
-			e.freeLibs = append(e.freeLibs, p.lib)
-			p.lib = content.Library{}
+		link.Clear()
+		e.freeCaches = append(e.freeCaches, link)
+		if lib.Size() > 0 {
+			e.freeLibs = append(e.freeLibs, lib)
+		}
+		if provenance != nil {
+			clear(provenance)
+			clear(pongStats)
+			clear(blacklist)
+			e.freeProvenance = append(e.freeProvenance, provenance)
+			e.freePongStats = append(e.freePongStats, pongStats)
+			e.freeBlacklist = append(e.freeBlacklist, blacklist)
+		}
+		if suppressed != nil {
+			clear(suppressed)
+			e.freeSuppressed = append(e.freeSuppressed, suppressed)
 		}
 	}
 
 	// Birth of the replacement, seeded by the random-friend policy:
 	// the newborn copies the link cache of one live "friend" and also
 	// remembers the friend itself.
-	np := e.spawnPeer(p.malicious, p.selfish)
-	if len(e.alive) > 1 {
+	np := e.spawnPeer(malicious, selfish)
+	if e.ps.len() > 1 {
 		friend := np
 		for friend == np {
-			friend = e.alive[e.rngChurn.Intn(len(e.alive))]
+			friend = e.rngChurn.Intn(e.ps.len())
 		}
-		for _, entry := range friend.link.Entries() {
-			if entry.Addr == np.id {
+		npID := e.ps.id[np]
+		for _, entry := range e.ps.link[friend].Entries() {
+			if entry.Addr == npID {
 				continue
 			}
-			np.link.Add(entry)
+			e.ps.link[np].Add(entry)
 		}
-		np.link.Add(cache.Entry{
-			Addr:     friend.id,
+		e.ps.link[np].Add(cache.Entry{
+			Addr:     e.ps.id[friend],
 			TS:       e.now,
-			NumFiles: friend.advertisedFiles,
+			NumFiles: e.ps.advertisedFiles[friend],
 			Direct:   true,
 		})
 	}
@@ -430,22 +603,22 @@ func (e *Engine) handleDeath(id cache.PeerID) {
 // handlePing performs one cache-maintenance ping for the peer and
 // reschedules the next one.
 func (e *Engine) handlePing(id cache.PeerID) {
-	p, ok := e.peers[id]
-	if !ok {
+	p := e.ps.slotOf(id)
+	if p < 0 {
 		return // peer died; its replacement has its own ping timer
 	}
-	e.events.Push(e.now+p.pingInterval, event{kind: evPing, peer: id})
+	e.push(e.now+e.ps.pingInterval[p], event{kind: evPing, peer: id})
 
-	entries := p.link.Entries()
+	entries := e.ps.link[p].Entries()
 	i := policy.Pick(e.rngPolicy, e.p.PingProbe, entries)
 	if i < 0 {
 		return
 	}
 	addr := entries[i].Addr
-	target, live := e.peers[addr]
+	target := e.ps.slotOf(addr)
 	measuring := e.now >= e.p.WarmupTime
-	if !live {
-		p.link.Remove(addr)
+	if target < 0 {
+		e.ps.link[p].Remove(addr)
 		e.blameDeadAddress(p, addr)
 		e.recordPingOutcome(p, true)
 		if measuring {
@@ -474,8 +647,8 @@ func (e *Engine) handlePing(id cache.PeerID) {
 	}
 	e.recordPingOutcome(p, false)
 	// Both sides record the interaction.
-	p.link.Touch(addr, e.now)
-	target.link.Touch(id, e.now)
+	e.ps.link[p].Touch(addr, e.now)
+	e.ps.link[target].Touch(id, e.now)
 	e.maybeIntroduce(target, p)
 	e.acceptPong(p, target, e.buildPong(target, e.p.PingPong))
 }
@@ -483,21 +656,85 @@ func (e *Engine) handlePing(id cache.PeerID) {
 // handleBurst starts a burst of queries for the peer and schedules its
 // next burst.
 func (e *Engine) handleBurst(id cache.PeerID) {
-	p, ok := e.peers[id]
-	if !ok {
+	p := e.ps.slotOf(id)
+	if p < 0 {
 		return
 	}
 	delay, size := e.gen.NextBurst(e.rngWorkload)
-	e.events.Push(e.now+delay, event{kind: evBurst, peer: id})
+	e.push(e.now+delay, event{kind: evBurst, peer: id})
 	e.startQuery(p, size-1)
+}
+
+// scanChunk is the slot-range granularity of the parallel sample
+// scans: large enough that chunk handoff is noise, small enough to
+// balance uneven cache sizes across workers.
+const scanChunk = 2048
+
+// forEachChunk partitions [0, n) into chunks and runs fn over them on
+// nshards workers (inline when sharding is off or n is small). fn must
+// be RNG-free and touch only per-slot disjoint state: the worker index
+// w is for per-worker scratch, lo/hi is the slot range.
+func (e *Engine) forEachChunk(n int, fn func(w, lo, hi int)) {
+	if e.nshards <= 1 || n < 2*scanChunk {
+		fn(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.nshards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(scanChunk)) - scanChunk
+				if lo >= n {
+					return
+				}
+				hi := min(lo+scanChunk, n)
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // handleSample takes a cache-health (and optionally connectivity)
 // sample and reschedules itself.
+//
+// The sample is the engine's one O(NetworkSize) scan, and the only
+// phase that parallelizes without touching randomness: counting each
+// peer's live and good cache entries is a pure read of the peer store.
+// With Shards > 1 the scan fans out over worker goroutines into
+// per-peer integer tallies; the floating-point averaging then replays
+// sequentially in slot order, performing bit-for-bit the same
+// operation sequence as the single-threaded scan — which is why every
+// shard count produces identical Results, traces and metrics.
 func (e *Engine) handleSample() {
 	if e.now+e.p.SampleInterval <= e.end {
-		e.events.Push(e.now+e.p.SampleInterval, event{kind: evSample})
+		e.push(e.now+e.p.SampleInterval, event{kind: evSample})
 	}
+	n := e.ps.len()
+	e.samplePl = growInt32(e.samplePl, n)
+	e.samplePg = growInt32(e.samplePg, n)
+	pl, pg := e.samplePl, e.samplePg
+	e.forEachChunk(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var live, good int32
+			for _, entry := range e.ps.link[i].Entries() {
+				t := e.ps.slotOf(entry.Addr)
+				if t < 0 {
+					continue
+				}
+				live++
+				if !e.ps.malicious[t] {
+					good++
+				}
+			}
+			pl[i] = live
+			pg[i] = good
+		}
+	})
+
 	var (
 		held, live float64
 		fracSum    float64
@@ -505,35 +742,23 @@ func (e *Engine) handleSample() {
 		goodSum    float64
 		goodPeers  int
 	)
-	for _, p := range e.alive {
-		entries := p.link.Entries()
-		pl := 0
-		pg := 0
-		for _, entry := range entries {
-			t, ok := e.peers[entry.Addr]
-			if !ok {
-				continue
-			}
-			pl++
-			if !t.malicious {
-				pg++
-			}
-		}
-		held += float64(len(entries))
-		live += float64(pl)
-		if len(entries) > 0 {
-			fracSum += float64(pl) / float64(len(entries))
+	for i := 0; i < n; i++ {
+		entries := e.ps.link[i].Len()
+		held += float64(entries)
+		live += float64(pl[i])
+		if entries > 0 {
+			fracSum += float64(pl[i]) / float64(entries)
 			fracPeers++
 		}
-		if !p.malicious {
-			goodSum += float64(pg)
+		if !e.ps.malicious[i] {
+			goodSum += float64(pg[i])
 			goodPeers++
 		}
 	}
-	n := float64(len(e.alive))
-	if n > 0 {
-		e.sumHeld += held / n
-		e.sumLive += live / n
+	nf := float64(n)
+	if nf > 0 {
+		e.sumHeld += held / nf
+		e.sumLive += live / nf
 	}
 	if fracPeers > 0 {
 		e.sumLiveFrac += fracSum / float64(fracPeers)
@@ -545,9 +770,9 @@ func (e *Engine) handleSample() {
 
 	if e.met != nil {
 		e.met.SimTime.Set(e.now)
-		if n > 0 {
-			e.met.AvgCacheEntries.Set(held / n)
-			e.met.AvgLiveEntries.Set(live / n)
+		if nf > 0 {
+			e.met.AvgCacheEntries.Set(held / nf)
+			e.met.AvgLiveEntries.Set(live / nf)
 		}
 	}
 	if e.progress != nil {
@@ -568,14 +793,23 @@ func (e *Engine) handleSample() {
 		}
 		if e.traceErr == nil {
 			var avgHeld, avgLive float64
-			if n > 0 {
-				avgHeld = held / n
-				avgLive = live / n
+			if nf > 0 {
+				avgHeld = held / nf
+				avgLive = live / nf
 			}
 			e.traceBuf = e.appendTraceRow(e.traceBuf[:0], avgHeld, avgLive)
 			_, e.traceErr = e.p.Trace.Write(e.traceBuf)
 		}
 	}
+}
+
+// growInt32 returns buf resized to n elements, reallocating only past
+// the high-water mark.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
 }
 
 // appendTraceRow assembles one CSV trace row into b. It is strconv in
@@ -605,22 +839,59 @@ func (e *Engine) appendTraceRow(b []byte, avgHeld, avgLive float64) []byte {
 }
 
 // largestWCC measures the conceptual overlay's largest weakly
-// connected component directly over the live population: every alive
-// peer already knows its dense index (aliveIdx), so the sample is one
-// union-find pass over the link caches with reusable scratch — no
-// overlay.Builder, no graph materialization, no allocation. Dead-target
-// entries and self-loops are skipped exactly as Builder.AddEdge skips
-// them.
+// connected component directly over the live population: slots are
+// already dense indices, so the sample is one union-find pass over the
+// link caches with reusable scratch — no overlay.Builder, no graph
+// materialization, no allocation. Dead-target entries and self-loops
+// are skipped exactly as Builder.AddEdge skips them.
+//
+// With Shards > 1 the expensive phase — resolving every cache entry's
+// address to a live slot — fans out over workers into per-worker edge
+// buffers, and only the cheap union pass runs sequentially. Union
+// order differs across shard counts, but component sizes (all the
+// union-find is asked for) are order-invariant, so the sample is
+// byte-identical at every shard count.
 func (e *Engine) largestWCC() int {
-	e.wcc.Reset(len(e.alive))
-	for i, p := range e.alive {
-		for _, entry := range p.link.Entries() {
-			if entry.Addr == p.id {
-				continue
+	n := e.ps.len()
+	e.wcc.Reset(n)
+	if e.nshards <= 1 || n < 2*scanChunk {
+		for i := 0; i < n; i++ {
+			selfID := e.ps.id[i]
+			for _, entry := range e.ps.link[i].Entries() {
+				if entry.Addr == selfID {
+					continue
+				}
+				if t := e.ps.slotOf(entry.Addr); t >= 0 {
+					e.wcc.Union(i, t)
+				}
 			}
-			if t, ok := e.peers[entry.Addr]; ok {
-				e.wcc.Union(i, t.aliveIdx)
+		}
+		return e.wcc.Largest()
+	}
+	if len(e.edgeBufs) < e.nshards {
+		e.edgeBufs = append(e.edgeBufs, make([][]int32, e.nshards-len(e.edgeBufs))...)
+	}
+	for w := range e.edgeBufs {
+		e.edgeBufs[w] = e.edgeBufs[w][:0]
+	}
+	e.forEachChunk(n, func(w, lo, hi int) {
+		buf := e.edgeBufs[w]
+		for i := lo; i < hi; i++ {
+			selfID := e.ps.id[i]
+			for _, entry := range e.ps.link[i].Entries() {
+				if entry.Addr == selfID {
+					continue
+				}
+				if t := e.ps.slotOf(entry.Addr); t >= 0 {
+					buf = append(buf, int32(i), int32(t))
+				}
 			}
+		}
+		e.edgeBufs[w] = buf
+	})
+	for _, buf := range e.edgeBufs {
+		for k := 0; k+1 < len(buf); k += 2 {
+			e.wcc.Union(int(buf[k]), int(buf[k+1]))
 		}
 	}
 	return e.wcc.Largest()
@@ -628,14 +899,14 @@ func (e *Engine) largestWCC() int {
 
 // maybeIntroduce applies the introduction protocol: host adds the
 // initiator of an interaction to its cache with probability IntroProb.
-func (e *Engine) maybeIntroduce(host, initiator *peer) {
+func (e *Engine) maybeIntroduce(host, initiator int) {
 	if !e.rngIntro.Bool(e.p.IntroProb) {
 		return
 	}
 	e.insertEntry(host, cache.Entry{
-		Addr:     initiator.id,
+		Addr:     e.ps.id[initiator],
 		TS:       e.now,
-		NumFiles: initiator.advertisedFiles,
+		NumFiles: e.ps.advertisedFiles[initiator],
 		Direct:   true,
 	}, false)
 }
@@ -647,13 +918,14 @@ func (e *Engine) maybeIntroduce(host, initiator *peer) {
 // policy.Insert — the Full pre-check runs only when counting. Either
 // way the policy's randomness consumption is untouched, so attaching
 // metrics cannot perturb a seeded run.
-func (e *Engine) insertEntry(receiver *peer, entry cache.Entry, fromBad bool) {
+func (e *Engine) insertEntry(receiver int, entry cache.Entry, fromBad bool) {
+	link := &e.ps.link[receiver]
 	if e.met == nil {
-		policy.Insert(e.rngPolicy, e.p.CacheReplacement, receiver.link, entry)
+		policy.Insert(e.rngPolicy, e.p.CacheReplacement, link, entry)
 		return
 	}
-	full := receiver.link.Full()
-	if !policy.Insert(e.rngPolicy, e.p.CacheReplacement, receiver.link, entry) {
+	full := link.Full()
+	if !policy.Insert(e.rngPolicy, e.p.CacheReplacement, link, entry) {
 		return
 	}
 	if full {
@@ -671,14 +943,14 @@ func (e *Engine) insertEntry(receiver *peer, entry cache.Entry, fromBad bool) {
 // only until the next buildPong call, and both consumers (acceptPong
 // and probeOne's pong loop) copy entries out before any further pong is
 // built.
-func (e *Engine) buildPong(host *peer, sel policy.Selection) []cache.Entry {
+func (e *Engine) buildPong(host int, sel policy.Selection) []cache.Entry {
 	if e.p.PongSize <= 0 {
 		return nil
 	}
-	if host.malicious {
+	if e.ps.malicious[host] {
 		return e.buildBadPong(host)
 	}
-	entries := host.link.Entries()
+	entries := e.ps.link[host].Entries()
 	var idx []int
 	if e.noReuse {
 		idx = policy.PickN(e.rngPolicy, sel, entries, e.p.PongSize)
@@ -695,15 +967,16 @@ func (e *Engine) buildPong(host *peer, sel policy.Selection) []cache.Entry {
 
 // buildBadPong fabricates a poisoned pong (into the shared pong
 // buffer, like buildPong).
-func (e *Engine) buildBadPong(host *peer) []cache.Entry {
+func (e *Engine) buildBadPong(host int) []cache.Entry {
 	out := e.pongBuf[:0]
 	defer func() { e.pongBuf = out }()
 	switch e.p.BadPong {
 	case BadPongBad:
 		// Colluders advertise each other with maximal credentials.
+		hostID := e.ps.id[host]
 		candidates := e.badBuf[:0]
 		for _, b := range e.bad {
-			if b != host {
+			if b != hostID {
 				candidates = append(candidates, b)
 			}
 		}
@@ -715,7 +988,7 @@ func (e *Engine) buildBadPong(host *peer) []cache.Entry {
 		for i := 0; i < e.p.PongSize; i++ {
 			b := candidates[e.rngPolicy.Intn(len(candidates))]
 			out = append(out, cache.Entry{
-				Addr:     b.id,
+				Addr:     b,
 				TS:       e.now,
 				NumFiles: e.lieFiles,
 				NumRes:   e.lieRes,
@@ -723,7 +996,7 @@ func (e *Engine) buildBadPong(host *peer) []cache.Entry {
 		}
 		return out
 	case BadPongGood:
-		entries := host.link.Entries()
+		entries := e.ps.link[host].Entries()
 		var idx []int
 		if e.noReuse {
 			idx = policy.PickN(e.rngPolicy, policy.SelRandom, entries, e.p.PongSize)
@@ -764,32 +1037,35 @@ func (e *Engine) fabricateDead(out []cache.Entry) []cache.Entry {
 // are not rewritten; the Direct flag is cleared because the NumRes
 // value is third-party experience, and ResetNumResults optionally
 // zeroes it. Pongs from blacklisted suppliers are ignored entirely.
-func (e *Engine) acceptPong(receiver *peer, source *peer, pong []cache.Entry) {
-	if receiver.pongSourceBlocked(source.id) {
+func (e *Engine) acceptPong(receiver, source int, pong []cache.Entry) {
+	sourceID := e.ps.id[source]
+	if e.pongSourceBlocked(receiver, sourceID) {
 		return
 	}
+	receiverID := e.ps.id[receiver]
 	if e.observer != nil {
 		e.observer.Observe(obs.Event{Kind: obs.EvPong, Time: e.now,
-			Peer: uint64(receiver.id), Target: uint64(source.id), Entries: len(pong)})
+			Peer: uint64(receiverID), Target: uint64(sourceID), Entries: len(pong)})
 	}
+	sourceBad := e.ps.malicious[source]
 	for _, entry := range pong {
-		if entry.Addr == receiver.id {
+		if entry.Addr == receiverID {
 			continue
 		}
 		entry.Direct = false
 		if e.p.ResetNumResults {
 			entry.NumRes = 0
 		}
-		e.recordSupplied(receiver, source.id, entry.Addr)
-		e.insertEntry(receiver, entry, source.malicious)
+		e.recordSupplied(receiver, sourceID, entry.Addr)
+		e.insertEntry(receiver, entry, sourceBad)
 	}
 }
 
 // finalize closes out per-peer load accounting and normalizes sampled
 // averages.
 func (e *Engine) finalize() {
-	for _, p := range e.alive {
-		e.loads = append(e.loads, p.probesReceived)
+	for i := 0; i < e.ps.len(); i++ {
+		e.loads = append(e.loads, e.ps.probesReceived[i])
 	}
 	e.res.PeerLoads = e.loads
 	e.res.Aborted += e.inFlightCounted

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/policy"
 )
 
@@ -139,8 +140,8 @@ func TestChurnKeepsPopulationConstant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.alive) != p.NetworkSize {
-		t.Fatalf("alive population %d, want %d", len(e.alive), p.NetworkSize)
+	if e.ps.len() != p.NetworkSize {
+		t.Fatalf("alive population %d, want %d", e.ps.len(), p.NetworkSize)
 	}
 	if res.Deaths == 0 {
 		t.Fatal("no churn under LifespanMultiplier=0.1")
@@ -148,17 +149,24 @@ func TestChurnKeepsPopulationConstant(t *testing.T) {
 	if res.Births != res.Deaths+p.NetworkSize {
 		t.Fatalf("births %d != deaths %d + initial %d", res.Births, res.Deaths, p.NetworkSize)
 	}
-	// Alive slice indices must be consistent.
-	for i, pr := range e.alive {
-		if pr.aliveIdx != i {
-			t.Fatalf("aliveIdx broken at %d", i)
-		}
-		if _, ok := e.peers[pr.id]; !ok {
-			t.Fatalf("alive peer %d missing from map", pr.id)
+	// The dense index table and the slot arrays must agree both ways.
+	live := 0
+	for i := 0; i < e.ps.len(); i++ {
+		if got := e.ps.slotOf(e.ps.id[i]); got != i {
+			t.Fatalf("slot %d holds id %d but slotOf resolves to %d", i, e.ps.id[i], got)
 		}
 	}
-	if len(e.peers) != len(e.alive) {
-		t.Fatalf("peers map has %d entries, alive %d", len(e.peers), len(e.alive))
+	for id, slot := range e.ps.byID {
+		if slot < 0 {
+			continue
+		}
+		live++
+		if e.ps.id[slot] != cache.PeerID(id) {
+			t.Fatalf("byID[%d]=%d but slot holds id %d", id, slot, e.ps.id[slot])
+		}
+	}
+	if live != e.ps.len() {
+		t.Fatalf("index table has %d live entries, slots %d", live, e.ps.len())
 	}
 }
 
@@ -298,12 +306,16 @@ func TestMaliciousFractionPreservedUnderChurn(t *testing.T) {
 	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	got := float64(len(e.bad)) / float64(len(e.alive))
+	got := float64(len(e.bad)) / float64(e.ps.len())
 	if math.Abs(got-0.2) > 0.001 {
 		t.Fatalf("malicious fraction drifted to %v", got)
 	}
 	for _, b := range e.bad {
-		if !b.malicious {
+		slot := e.ps.slotOf(b)
+		if slot < 0 {
+			t.Fatalf("dead peer %d in bad list", b)
+		}
+		if !e.ps.malicious[slot] {
 			t.Fatal("non-malicious peer in bad list")
 		}
 	}

@@ -2,7 +2,8 @@ package core
 
 // White-box tests of engine internals that do not need a full
 // simulation run: pong construction, introduction, sampling, and the
-// malicious pong fabrication paths.
+// malicious pong fabrication paths. Peers are addressed by slot index
+// into the engine's peerStore (see peerstore.go).
 
 import (
 	"testing"
@@ -27,26 +28,38 @@ func newBootstrapped(t *testing.T, mutate func(*Params)) *Engine {
 	return e
 }
 
+// badSlot resolves the i-th live malicious peer to its slot.
+func badSlot(t *testing.T, e *Engine, i int) int {
+	t.Helper()
+	slot := e.ps.slotOf(e.bad[i])
+	if slot < 0 {
+		t.Fatalf("bad peer %d not alive", e.bad[i])
+	}
+	return slot
+}
+
 func TestBootstrapSeedsCaches(t *testing.T) {
 	e := newBootstrapped(t, nil)
-	if len(e.alive) != e.p.NetworkSize {
-		t.Fatalf("alive = %d", len(e.alive))
+	if e.ps.len() != e.p.NetworkSize {
+		t.Fatalf("alive = %d", e.ps.len())
 	}
 	want := e.p.seedSize()
-	for _, p := range e.alive {
-		if p.link.Len() == 0 || p.link.Len() > want {
-			t.Fatalf("peer %d seeded with %d entries, want 1..%d", p.id, p.link.Len(), want)
+	for p := 0; p < e.ps.len(); p++ {
+		link := &e.ps.link[p]
+		if link.Len() == 0 || link.Len() > want {
+			t.Fatalf("peer %d seeded with %d entries, want 1..%d", e.ps.id[p], link.Len(), want)
 		}
-		if p.link.Has(p.id) {
-			t.Fatalf("peer %d has itself in its cache", p.id)
+		if link.Has(e.ps.id[p]) {
+			t.Fatalf("peer %d has itself in its cache", e.ps.id[p])
 		}
-		for _, entry := range p.link.Entries() {
-			target, ok := e.peers[entry.Addr]
-			if !ok {
+		for _, entry := range link.Entries() {
+			target := e.ps.slotOf(entry.Addr)
+			if target < 0 {
 				t.Fatalf("seeded entry points at nonexistent peer %d", entry.Addr)
 			}
-			if entry.NumFiles != target.advertisedFiles {
-				t.Fatalf("seed entry NumFiles %d != advertised %d", entry.NumFiles, target.advertisedFiles)
+			if entry.NumFiles != e.ps.advertisedFiles[target] {
+				t.Fatalf("seed entry NumFiles %d != advertised %d",
+					entry.NumFiles, e.ps.advertisedFiles[target])
 			}
 		}
 	}
@@ -54,7 +67,7 @@ func TestBootstrapSeedsCaches(t *testing.T) {
 
 func TestSamplePeersDistinctAndExcluding(t *testing.T) {
 	e := newBootstrapped(t, nil)
-	exclude := e.alive[0].id
+	exclude := e.ps.id[0]
 	for trial := 0; trial < 50; trial++ {
 		idx := e.samplePeers(e.rngSeeding, 10, exclude)
 		seen := make(map[int]bool)
@@ -63,7 +76,7 @@ func TestSamplePeersDistinctAndExcluding(t *testing.T) {
 				t.Fatal("duplicate index sampled")
 			}
 			seen[i] = true
-			if e.alive[i].id == exclude {
+			if e.ps.id[i] == exclude {
 				t.Fatal("excluded peer sampled")
 			}
 		}
@@ -72,13 +85,13 @@ func TestSamplePeersDistinctAndExcluding(t *testing.T) {
 
 func TestBuildPongHonest(t *testing.T) {
 	e := newBootstrapped(t, nil)
-	host := e.alive[0]
+	const host = 0
 	pong := e.buildPong(host, policy.SelRandom)
 	if len(pong) == 0 || len(pong) > e.p.PongSize {
 		t.Fatalf("pong size %d", len(pong))
 	}
 	for _, entry := range pong {
-		if !host.link.Has(entry.Addr) {
+		if !e.ps.link[host].Has(entry.Addr) {
 			t.Fatal("pong entry not from host's cache")
 		}
 	}
@@ -86,11 +99,11 @@ func TestBuildPongHonest(t *testing.T) {
 
 func TestBuildPongMFSPicksTop(t *testing.T) {
 	e := newBootstrapped(t, nil)
-	host := e.alive[0]
+	const host = 0
 	pong := e.buildPong(host, policy.SelMFS)
 	// The pong must contain the cache's maximum-NumFiles entry.
 	var maxFiles int32
-	for _, entry := range host.link.Entries() {
+	for _, entry := range e.ps.link[host].Entries() {
 		if entry.NumFiles > maxFiles {
 			maxFiles = entry.NumFiles
 		}
@@ -114,7 +127,7 @@ func TestBuildBadPongDead(t *testing.T) {
 	if len(e.bad) == 0 {
 		t.Fatal("no malicious peers")
 	}
-	host := e.bad[0]
+	host := badSlot(t, e, 0)
 	pong := e.buildPong(host, policy.SelRandom)
 	if len(pong) != e.p.PongSize {
 		t.Fatalf("bad pong size %d", len(pong))
@@ -123,7 +136,7 @@ func TestBuildBadPongDead(t *testing.T) {
 		if entry.Addr < fakeAddrBase {
 			t.Fatalf("dead pong entry %d is a real address", entry.Addr)
 		}
-		if _, alive := e.peers[entry.Addr]; alive {
+		if e.ps.slotOf(entry.Addr) >= 0 {
 			t.Fatal("fabricated address is alive")
 		}
 		if entry.NumFiles != e.lieFiles {
@@ -140,17 +153,17 @@ func TestBuildBadPongColluding(t *testing.T) {
 		p.PercentBadPeers = 10
 		p.BadPong = BadPongBad
 	})
-	host := e.bad[0]
+	host := badSlot(t, e, 0)
 	pong := e.buildPong(host, policy.SelRandom)
 	if len(pong) != e.p.PongSize {
 		t.Fatalf("colluding pong size %d", len(pong))
 	}
 	for _, entry := range pong {
-		target, alive := e.peers[entry.Addr]
-		if !alive || !target.malicious {
+		target := e.ps.slotOf(entry.Addr)
+		if target < 0 || !e.ps.malicious[target] {
 			t.Fatalf("colluding pong entry %d not a live malicious peer", entry.Addr)
 		}
-		if entry.Addr == host.id {
+		if entry.Addr == e.ps.id[host] {
 			t.Fatal("colluder advertised itself")
 		}
 	}
@@ -165,7 +178,7 @@ func TestBuildBadPongColludingAloneFallsBackToDead(t *testing.T) {
 	if len(e.bad) != 1 {
 		t.Fatalf("want exactly 1 bad peer, got %d", len(e.bad))
 	}
-	pong := e.buildPong(e.bad[0], policy.SelRandom)
+	pong := e.buildPong(badSlot(t, e, 0), policy.SelRandom)
 	for _, entry := range pong {
 		if entry.Addr < fakeAddrBase {
 			t.Fatal("lone colluder should fabricate dead addresses")
@@ -175,36 +188,34 @@ func TestBuildBadPongColludingAloneFallsBackToDead(t *testing.T) {
 
 func TestMaybeIntroduceAlwaysAndNever(t *testing.T) {
 	e := newBootstrapped(t, func(p *Params) { p.IntroProb = 1 })
-	host, guest := e.alive[0], e.alive[1]
-	host.link = cache.NewLinkCache(e.p.CacheSize) // empty it
+	const host, guest = 0, 1
+	e.ps.link[host] = *cache.NewLinkCache(e.p.CacheSize) // empty it
 	e.maybeIntroduce(host, guest)
-	if !host.link.Has(guest.id) {
+	if !e.ps.link[host].Has(e.ps.id[guest]) {
 		t.Fatal("IntroProb=1 did not introduce")
 	}
 
 	e2 := newBootstrapped(t, func(p *Params) { p.IntroProb = 0 })
-	host2, guest2 := e2.alive[0], e2.alive[1]
-	host2.link = cache.NewLinkCache(e2.p.CacheSize)
-	e2.maybeIntroduce(host2, guest2)
-	if host2.link.Len() != 0 {
+	e2.ps.link[host] = *cache.NewLinkCache(e2.p.CacheSize)
+	e2.maybeIntroduce(host, guest)
+	if e2.ps.link[host].Len() != 0 {
 		t.Fatal("IntroProb=0 introduced")
 	}
 }
 
 func TestAcceptPongRules(t *testing.T) {
 	e := newBootstrapped(t, func(p *Params) { p.ResetNumResults = true })
-	receiver := e.alive[0]
-	receiver.link = cache.NewLinkCache(e.p.CacheSize)
-	source := e.alive[1]
+	const receiver, source = 0, 1
+	e.ps.link[receiver] = *cache.NewLinkCache(e.p.CacheSize)
 	pong := []cache.Entry{
-		{Addr: receiver.id, NumFiles: 9},               // self: skipped
-		{Addr: e.alive[2].id, NumRes: 7, Direct: true}, // NumRes zeroed, Direct cleared
+		{Addr: e.ps.id[receiver], NumFiles: 9},      // self: skipped
+		{Addr: e.ps.id[2], NumRes: 7, Direct: true}, // NumRes zeroed, Direct cleared
 	}
 	e.acceptPong(receiver, source, pong)
-	if receiver.link.Has(receiver.id) {
+	if e.ps.link[receiver].Has(e.ps.id[receiver]) {
 		t.Fatal("accepted own address")
 	}
-	got, ok := receiver.link.Get(e.alive[2].id)
+	got, ok := e.ps.link[receiver].Get(e.ps.id[2])
 	if !ok {
 		t.Fatal("entry not accepted")
 	}
@@ -219,6 +230,25 @@ func TestLargestWCCOnFreshNetwork(t *testing.T) {
 	// Seeded random caches of ~4 entries connect essentially everyone.
 	if wcc < e.p.NetworkSize*9/10 {
 		t.Fatalf("fresh overlay fragmented: WCC=%d of %d", wcc, e.p.NetworkSize)
+	}
+}
+
+// TestLargestWCCParallelMatchesSerial pins that the sharded WCC sample
+// (parallel edge resolution, sequential unions) computes exactly the
+// serial scan's component size. The population is made large enough to
+// cross the parallel path's size threshold.
+func TestLargestWCCParallelMatchesSerial(t *testing.T) {
+	mk := func(shards int) *Engine {
+		return newBootstrapped(t, func(p *Params) {
+			p.NetworkSize = 3 * scanChunk
+			p.Shards = shards
+		})
+	}
+	serial := mk(1).largestWCC()
+	for _, shards := range []int{2, 4, 8} {
+		if got := mk(shards).largestWCC(); got != serial {
+			t.Fatalf("Shards=%d WCC=%d, serial=%d", shards, got, serial)
+		}
 	}
 }
 

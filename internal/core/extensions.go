@@ -7,13 +7,14 @@ import "repro/internal/cache"
 // intervals (Section 6.1), selfish peers and probe payments
 // (Section 3.3), and pong-poisoning detection (Section 6.4). Every
 // extension is inert unless enabled in Params, so the baseline
-// protocol is bit-identical to the paper's.
+// protocol is bit-identical to the paper's. Helpers take slot indices
+// into the engine's peerStore (see peerstore.go).
 
 // queryParallelism returns the per-round probe fan-out a querying peer
 // uses. A selfish peer ignores the protocol's serial discipline unless
 // probe payments make every probe cost something.
-func (e *Engine) queryParallelism(origin *peer) int {
-	if origin.selfish && !e.p.ProbePayments {
+func (e *Engine) queryParallelism(origin int) int {
+	if e.ps.selfish[origin] && !e.p.ProbePayments {
 		return e.p.SelfishParallelProbes
 	}
 	return e.p.ParallelProbes
@@ -40,83 +41,113 @@ func (e *Engine) maybeGrowParallelism(q *query) {
 // interval, and one that saw no dead addresses at all relaxes it. The
 // short window matters: peers live for minutes, so the controller must
 // converge within a handful of pings to help at all.
-func (e *Engine) recordPingOutcome(p *peer, dead bool) {
+func (e *Engine) recordPingOutcome(p int, dead bool) {
 	if !e.p.AdaptivePing {
 		return
 	}
-	p.pingsInWindow++
+	e.ps.pingsInWindow[p]++
 	if dead {
-		p.deadInWindow++
+		e.ps.deadInWindow[p]++
 	}
 	const window = 5
-	if p.pingsInWindow < window {
+	if e.ps.pingsInWindow[p] < window {
 		return
 	}
-	deadFrac := float64(p.deadInWindow) / float64(p.pingsInWindow)
-	p.pingsInWindow, p.deadInWindow = 0, 0
+	deadFrac := float64(e.ps.deadInWindow[p]) / float64(e.ps.pingsInWindow[p])
+	e.ps.pingsInWindow[p], e.ps.deadInWindow[p] = 0, 0
 	switch {
 	case deadFrac > 1-e.p.AdaptivePingLowLive:
-		p.pingInterval /= 2
-		if p.pingInterval < e.p.AdaptivePingMin {
-			p.pingInterval = e.p.AdaptivePingMin
+		e.ps.pingInterval[p] /= 2
+		if e.ps.pingInterval[p] < e.p.AdaptivePingMin {
+			e.ps.pingInterval[p] = e.p.AdaptivePingMin
 		}
 	case deadFrac < 1-e.p.AdaptivePingHighLive:
-		p.pingInterval *= 1.25
-		if p.pingInterval > e.p.AdaptivePingMax {
-			p.pingInterval = e.p.AdaptivePingMax
+		e.ps.pingInterval[p] *= 1.25
+		if e.ps.pingInterval[p] > e.p.AdaptivePingMax {
+			e.ps.pingInterval[p] = e.p.AdaptivePingMax
 		}
 	}
 }
 
-// pongSourceBlocked reports whether receiver has blacklisted source's
-// pongs.
-func (p *peer) pongSourceBlocked(source cache.PeerID) bool {
-	return p.blacklist != nil && p.blacklist[source]
+// pongSourceBlocked reports whether the peer in slot p has blacklisted
+// source's pongs.
+func (e *Engine) pongSourceBlocked(p int, source cache.PeerID) bool {
+	bl := e.ps.blacklist[p]
+	return bl != nil && bl[source]
 }
 
-// recordSupplied notes that source handed receiver a pointer to addr.
-func (e *Engine) recordSupplied(receiver *peer, source, addr cache.PeerID) {
+// recordSupplied notes that source handed the peer in slot receiver a
+// pointer to addr.
+func (e *Engine) recordSupplied(receiver int, source, addr cache.PeerID) {
 	if !e.p.PoisonDetection {
 		return
 	}
-	if receiver.provenance == nil {
-		receiver.provenance = make(map[cache.PeerID]cache.PeerID, 64)
-		receiver.pongStats = make(map[cache.PeerID]*supplierRecord, 16)
-		receiver.blacklist = make(map[cache.PeerID]bool, 4)
+	if e.ps.provenance[receiver] == nil {
+		e.allocPoisonState(receiver)
 	}
-	receiver.provenance[addr] = source
-	rec := receiver.pongStats[source]
-	if rec == nil {
-		rec = &supplierRecord{}
-		receiver.pongStats[source] = rec
-	}
+	e.ps.provenance[receiver][addr] = source
+	stats := e.ps.pongStats[receiver]
+	rec := stats[source]
 	rec.given++
+	stats[source] = rec
+}
+
+// allocPoisonState lazily equips a slot with its poison-detection
+// maps, recycling cleared maps from dead peers when reuse is on.
+func (e *Engine) allocPoisonState(p int) {
+	if n := len(e.freeProvenance); n > 0 && !e.noReuse {
+		e.ps.provenance[p] = e.freeProvenance[n-1]
+		e.freeProvenance[n-1] = nil
+		e.freeProvenance = e.freeProvenance[:n-1]
+	} else {
+		e.ps.provenance[p] = make(map[cache.PeerID]cache.PeerID, 64)
+	}
+	if n := len(e.freePongStats); n > 0 && !e.noReuse {
+		e.ps.pongStats[p] = e.freePongStats[n-1]
+		e.freePongStats[n-1] = nil
+		e.freePongStats = e.freePongStats[:n-1]
+	} else {
+		e.ps.pongStats[p] = make(map[cache.PeerID]supplierRecord, 16)
+	}
+	if n := len(e.freeBlacklist); n > 0 && !e.noReuse {
+		e.ps.blacklist[p] = e.freeBlacklist[n-1]
+		e.freeBlacklist[n-1] = nil
+		e.freeBlacklist = e.freeBlacklist[:n-1]
+	} else {
+		e.ps.blacklist[p] = make(map[cache.PeerID]bool, 4)
+	}
 }
 
 // blameDeadAddress charges the supplier of a dead address and convicts
 // persistently poisonous suppliers: they are blacklisted, evicted, and
 // their future pongs ignored.
-func (e *Engine) blameDeadAddress(victim *peer, deadAddr cache.PeerID) {
-	if !e.p.PoisonDetection || victim.provenance == nil {
+func (e *Engine) blameDeadAddress(victim int, deadAddr cache.PeerID) {
+	if !e.p.PoisonDetection {
 		return
 	}
-	source, ok := victim.provenance[deadAddr]
+	prov := e.ps.provenance[victim]
+	if prov == nil {
+		return
+	}
+	source, ok := prov[deadAddr]
 	if !ok {
 		return
 	}
-	delete(victim.provenance, deadAddr)
-	rec := victim.pongStats[source]
-	if rec == nil {
+	delete(prov, deadAddr)
+	stats := e.ps.pongStats[victim]
+	rec, ok := stats[source]
+	if !ok {
 		return
 	}
 	rec.dead++
-	if victim.blacklist[source] {
+	stats[source] = rec
+	if e.ps.blacklist[victim][source] {
 		return
 	}
 	if rec.given >= e.p.PoisonMinSamples &&
 		float64(rec.dead)/float64(rec.given) >= e.p.PoisonThreshold {
-		victim.blacklist[source] = true
-		victim.link.Remove(source)
+		e.ps.blacklist[victim][source] = true
+		e.ps.link[victim].Remove(source)
 		e.res.BlacklistEvents++
 		if e.met != nil {
 			e.met.Blacklists.Inc()

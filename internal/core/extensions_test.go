@@ -164,12 +164,12 @@ func TestSelfishFractionPreservedUnderChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	selfish := 0
-	for _, pr := range e.alive {
-		if pr.selfish {
+	for p := 0; p < e.ps.len(); p++ {
+		if e.ps.selfish[p] {
 			selfish++
 		}
 	}
-	got := float64(selfish) / float64(len(e.alive))
+	got := float64(selfish) / float64(e.ps.len())
 	if got < 0.24 || got > 0.26 {
 		t.Fatalf("selfish fraction drifted to %v", got)
 	}

@@ -4,104 +4,67 @@ import (
 	"math"
 
 	"repro/internal/cache"
-	"repro/internal/content"
 )
 
-// peer is the simulator's per-peer state.
-type peer struct {
-	id   cache.PeerID
-	born float64
-	// deathAt is fixed at birth: lifetimes are drawn once, and dead
-	// peers never return (the paper's conservative worst case).
-	deathAt float64
-
-	lib content.Library
-	// advertisedFiles is what the peer claims in introductions and
-	// pongs. Good peers tell the truth; malicious peers claim the
-	// maximum to stay attractive under MFS.
-	advertisedFiles int32
-	malicious       bool
-	// selfish peers follow the protocol except that they probe with a
-	// huge fan-out to minimize their own response time (Section 3.3).
-	selfish bool
-
-	link *cache.LinkCache
-
-	// pingInterval is this peer's current maintenance period; it only
-	// diverges from the global parameter under AdaptivePing.
-	pingInterval float64
-	// pingsInWindow/deadInWindow drive the adaptive-ping controller.
-	pingsInWindow, deadInWindow int
-
-	// Poison-detection state (allocated only when enabled):
-	// provenance records which neighbor supplied each pong-learned
-	// address, supplierStats tallies how their entries turned out, and
-	// blacklist holds convicted suppliers.
-	provenance map[cache.PeerID]cache.PeerID
-	pongStats  map[cache.PeerID]*supplierRecord
-	blacklist  map[cache.PeerID]bool
-
-	// aliveIdx is the peer's slot in the engine's alive slice, for O(1)
-	// removal on death.
-	aliveIdx int
-
-	// Load accounting: probes received in the current 1-second window.
-	winStart float64
-	winCount int
-
-	// probesReceived counts probes arriving while the peer is alive
-	// during the measurement window (good + refused; Figure 13's
-	// load metric).
-	probesReceived int64
-
-	// suppressed maps overloaded targets to the time until which this
-	// peer will not probe them. Allocated lazily; only used with
-	// DoBackoff.
-	suppressed map[cache.PeerID]float64
-}
+// Per-peer protocol behavior over the struct-of-arrays store: load
+// accounting and probe back-off. Each helper takes a slot index into
+// the engine's peerStore (see peerstore.go for the slot discipline).
 
 // supplierRecord tallies the quality of one neighbor's pong entries.
+// It is stored by value in the pongStats maps, so tracking a supplier
+// costs no extra heap object.
 type supplierRecord struct {
 	given int
 	dead  int
 }
 
-// addLoad records an incoming probe at time now and reports whether
-// the peer is overloaded (the probe must be refused). maxPerSec <= 0
-// means unlimited capacity.
-func (p *peer) addLoad(now float64, maxPerSec int) bool {
+// addLoad records an incoming probe at time now for the peer in slot p
+// and reports whether the peer is overloaded (the probe must be
+// refused). maxPerSec <= 0 means unlimited capacity.
+func (e *Engine) addLoad(p int, now float64, maxPerSec int) bool {
 	if maxPerSec <= 0 {
 		return false
 	}
 	sec := math.Floor(now)
-	if sec != p.winStart {
-		p.winStart = sec
-		p.winCount = 0
+	if sec != e.ps.winStart[p] {
+		e.ps.winStart[p] = sec
+		e.ps.winCount[p] = 0
 	}
-	p.winCount++
-	return p.winCount > maxPerSec
+	e.ps.winCount[p]++
+	return int(e.ps.winCount[p]) > maxPerSec
 }
 
-// suppressedUntil reports whether target is under back-off at now.
-func (p *peer) suppressedNow(target cache.PeerID, now float64) bool {
-	if p.suppressed == nil {
+// suppressedNow reports whether the peer in slot p is backing off from
+// target at now.
+func (e *Engine) suppressedNow(p int, target cache.PeerID, now float64) bool {
+	m := e.ps.suppressed[p]
+	if m == nil {
 		return false
 	}
-	until, ok := p.suppressed[target]
+	until, ok := m[target]
 	if !ok {
 		return false
 	}
 	if now >= until {
-		delete(p.suppressed, target)
+		delete(m, target)
 		return false
 	}
 	return true
 }
 
-// suppress records a back-off for target until the given time.
-func (p *peer) suppress(target cache.PeerID, until float64) {
-	if p.suppressed == nil {
-		p.suppressed = make(map[cache.PeerID]float64, 4)
+// suppress records a back-off from target until the given time for the
+// peer in slot p.
+func (e *Engine) suppress(p int, target cache.PeerID, until float64) {
+	m := e.ps.suppressed[p]
+	if m == nil {
+		if n := len(e.freeSuppressed); n > 0 && !e.noReuse {
+			m = e.freeSuppressed[n-1]
+			e.freeSuppressed[n-1] = nil
+			e.freeSuppressed = e.freeSuppressed[:n-1]
+		} else {
+			m = make(map[cache.PeerID]float64, 4)
+		}
+		e.ps.suppressed[p] = m
 	}
-	p.suppressed[target] = until
+	m[target] = until
 }

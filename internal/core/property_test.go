@@ -58,8 +58,8 @@ func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
 		case res.Satisfied+res.Unsatisfied != res.Queries:
 			t.Logf("satisfaction partition broken")
 			return false
-		case len(e.alive) != p.NetworkSize:
-			t.Logf("population drifted to %d", len(e.alive))
+		case e.ps.len() != p.NetworkSize:
+			t.Logf("population drifted to %d", e.ps.len())
 			return false
 		case res.Births != res.Deaths+p.NetworkSize:
 			t.Logf("birth/death ledger broken: %d births, %d deaths", res.Births, res.Deaths)
@@ -75,9 +75,9 @@ func TestEngineInvariantsUnderRandomConfigs(t *testing.T) {
 		}
 		// Every peer's link cache respects capacity and never contains
 		// the peer itself.
-		for _, pr := range e.alive {
-			if pr.link.Len() > p.CacheSize || pr.link.Has(pr.id) {
-				t.Logf("cache invariant broken at peer %d", pr.id)
+		for i := 0; i < e.ps.len(); i++ {
+			if e.ps.link[i].Len() > p.CacheSize || e.ps.link[i].Has(e.ps.id[i]) {
+				t.Logf("cache invariant broken at peer %d", e.ps.id[i])
 				return false
 			}
 		}

@@ -14,7 +14,9 @@ import (
 type query struct {
 	// id labels the query in trace events: 1-based in issue order,
 	// stable across pooling (reassigned on every startQuery).
-	id      uint64
+	id uint64
+	// origin is the querying peer's ID (not slot: slots move on churn,
+	// and a query outlives many churn events).
 	origin  cache.PeerID
 	item    content.ItemID
 	started float64
@@ -99,14 +101,14 @@ func (e *Engine) putQuery(q *query) {
 	e.freeQueries = append(e.freeQueries, q)
 }
 
-// startQuery begins a new query at p: the target item is drawn from the
-// query model, the link cache is snapshotted into the candidate set,
-// and the first probe round fires immediately.
-func (e *Engine) startQuery(p *peer, burstRemaining int) {
+// startQuery begins a new query at the peer in slot p: the target item
+// is drawn from the query model, the link cache is snapshotted into the
+// candidate set, and the first probe round fires immediately.
+func (e *Engine) startQuery(p int, burstRemaining int) {
 	q := e.getQuery()
 	e.nextQueryID++
 	q.id = e.nextQueryID
-	q.origin = p.id
+	q.origin = e.ps.id[p]
 	q.item = e.universe.DrawQuery(e.rngContent)
 	q.started = e.now
 	q.counted = e.now >= e.p.WarmupTime
@@ -118,9 +120,9 @@ func (e *Engine) startQuery(p *peer, burstRemaining int) {
 	q.sel.Reset(e.p.QueryProbe, e.rngPolicy)
 	q.seenGen++
 	// Never probe yourself.
-	q.seen[p.id] = q.seenGen
+	q.seen[q.origin] = q.seenGen
 
-	for _, entry := range p.link.Entries() {
+	for _, entry := range e.ps.link[p].Entries() {
 		q.addCandidate(entry)
 	}
 	if q.counted {
@@ -131,7 +133,7 @@ func (e *Engine) startQuery(p *peer, burstRemaining int) {
 			Kind:  obs.EvQueryIssued,
 			Time:  e.now,
 			Query: q.id,
-			Peer:  uint64(p.id),
+			Peer:  uint64(q.origin),
 		})
 	}
 	e.handleProbeStep(q)
@@ -141,8 +143,8 @@ func (e *Engine) startQuery(p *peer, burstRemaining int) {
 // probes for q and either completes the query or schedules the next
 // round.
 func (e *Engine) handleProbeStep(q *query) {
-	origin, ok := e.peers[q.origin]
-	if !ok {
+	origin := e.ps.slotOf(q.origin)
+	if origin < 0 {
 		// The querying peer died; the query is abandoned.
 		if q.counted {
 			e.res.Aborted++
@@ -201,19 +203,19 @@ func (e *Engine) handleProbeStep(q *query) {
 	case e.p.MaxProbesPerQuery > 0 && q.probes >= e.p.MaxProbesPerQuery:
 		e.completeQuery(origin, q, false)
 	default:
-		e.events.Push(e.now+e.p.ProbeSpacing, event{kind: evProbeStep, q: q})
+		e.push(e.now+e.p.ProbeSpacing, event{kind: evProbeStep, q: q})
 	}
 }
 
 // nextCandidate pulls the best unprobed candidate, skipping targets the
 // origin is currently backing off from.
-func (e *Engine) nextCandidate(origin *peer, q *query) (cache.Entry, bool) {
+func (e *Engine) nextCandidate(origin int, q *query) (cache.Entry, bool) {
 	for {
 		entry, ok := q.sel.Next()
 		if !ok {
 			return cache.Entry{}, false
 		}
-		if origin.suppressedNow(entry.Addr, e.now) {
+		if e.suppressedNow(origin, entry.Addr, e.now) {
 			continue
 		}
 		return entry, true
@@ -223,22 +225,22 @@ func (e *Engine) nextCandidate(origin *peer, q *query) (cache.Entry, bool) {
 // probeOne delivers a single query probe from origin to the peer named
 // by entry and processes the outcome (results, pong, introduction,
 // cache bookkeeping).
-func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
+func (e *Engine) probeOne(origin int, q *query, entry cache.Entry) {
 	addr := entry.Addr
 	q.probes++
 
-	target, live := e.peers[addr]
-	if !live {
+	target := e.ps.slotOf(addr)
+	if target < 0 {
 		// Timeout: the peer is presumed dead and evicted.
 		q.dead++
-		origin.link.Remove(addr)
+		e.ps.link[origin].Remove(addr)
 		e.blameDeadAddress(origin, addr)
 		if e.observer != nil {
 			e.observer.Observe(obs.Event{
 				Kind:    obs.EvProbe,
 				Time:    e.now,
 				Query:   q.id,
-				Peer:    uint64(origin.id),
+				Peer:    uint64(q.origin),
 				Target:  uint64(addr),
 				Outcome: obs.OutcomeDead,
 			})
@@ -247,25 +249,25 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 	}
 
 	if e.now >= e.p.WarmupTime {
-		target.probesReceived++
+		e.ps.probesReceived[target]++
 	}
-	if target.addLoad(e.now, e.p.MaxProbesPerSecond) {
+	if e.addLoad(target, e.now, e.p.MaxProbesPerSecond) {
 		// Refused: the overloaded peer drops the probe. Without
 		// back-off the prober treats it like a dead peer (the
 		// protocol's inherent throttling); with back-off the entry is
 		// kept but suppressed for a while.
 		q.refused++
 		if e.p.DoBackoff {
-			origin.suppress(addr, e.now+e.p.BackoffPeriod)
+			e.suppress(origin, addr, e.now+e.p.BackoffPeriod)
 		} else {
-			origin.link.Remove(addr)
+			e.ps.link[origin].Remove(addr)
 		}
 		if e.observer != nil {
 			e.observer.Observe(obs.Event{
 				Kind:    obs.EvProbe,
 				Time:    e.now,
 				Query:   q.id,
-				Peer:    uint64(origin.id),
+				Peer:    uint64(q.origin),
 				Target:  uint64(addr),
 				Outcome: obs.OutcomeRefused,
 			})
@@ -277,8 +279,8 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 	e.maybeIntroduce(target, origin)
 
 	res := 0
-	if !target.malicious {
-		res = target.lib.Results(q.item)
+	if !e.ps.malicious[target] {
+		res = e.ps.lib[target].Results(q.item)
 	}
 	q.results += res
 	if res > 0 {
@@ -289,7 +291,7 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 			Kind:    obs.EvProbe,
 			Time:    e.now,
 			Query:   q.id,
-			Peer:    uint64(origin.id),
+			Peer:    uint64(q.origin),
 			Target:  uint64(addr),
 			Outcome: obs.OutcomeGood,
 			Results: res,
@@ -298,19 +300,20 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 
 	// Both sides record the interaction; the prober also refreshes its
 	// direct NumRes experience with the target.
-	origin.link.Touch(addr, e.now)
-	origin.link.SetNumRes(addr, int32(res))
-	target.link.Touch(origin.id, e.now)
+	e.ps.link[origin].Touch(addr, e.now)
+	e.ps.link[origin].SetNumRes(addr, int32(res))
+	e.ps.link[target].Touch(q.origin, e.now)
 
 	// The pong rides along with the query response: new candidates for
 	// this query's cache and fodder for the link cache. Blacklisted
 	// suppliers' pongs are dropped (poison detection).
-	if origin.pongSourceBlocked(addr) {
+	if e.pongSourceBlocked(origin, addr) {
 		return
 	}
 	pong := e.buildPong(target, e.p.QueryPong)
+	targetBad := e.ps.malicious[target]
 	for _, pe := range pong {
-		if pe.Addr == origin.id {
+		if pe.Addr == q.origin {
 			continue
 		}
 		pe.Direct = false
@@ -319,14 +322,14 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 		}
 		e.recordSupplied(origin, addr, pe.Addr)
 		q.addCandidate(pe)
-		e.insertEntry(origin, pe, target.malicious)
+		e.insertEntry(origin, pe, targetBad)
 	}
 	if e.observer != nil && len(pong) > 0 {
 		e.observer.Observe(obs.Event{
 			Kind:    obs.EvPong,
 			Time:    e.now,
 			Query:   q.id,
-			Peer:    uint64(origin.id),
+			Peer:    uint64(q.origin),
 			Target:  uint64(addr),
 			Entries: len(pong),
 		})
@@ -334,7 +337,7 @@ func (e *Engine) probeOne(origin *peer, q *query, entry cache.Entry) {
 }
 
 // completeQuery records metrics and chains the next query of the burst.
-func (e *Engine) completeQuery(origin *peer, q *query, satisfied bool) {
+func (e *Engine) completeQuery(origin int, q *query, satisfied bool) {
 	if q.counted {
 		e.inFlightCounted--
 		e.res.Queries++
@@ -372,7 +375,7 @@ func (e *Engine) completeQuery(origin *peer, q *query, satisfied bool) {
 			Kind:    obs.EvQueryDone,
 			Time:    e.now,
 			Query:   q.id,
-			Peer:    uint64(origin.id),
+			Peer:    uint64(q.origin),
 			Outcome: outcome,
 			Probes:  q.probes,
 			Results: q.results,

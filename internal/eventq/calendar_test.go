@@ -1,0 +1,97 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarMatchesQueue drives the calendar queue and the reference
+// heap through identical randomized push/pop scripts across several
+// event-time regimes (dense ties, uniform, heavy-tailed spacing,
+// monotonically advancing simulation time) and demands identical pop
+// sequences — same times, same values, same tie order.
+func TestCalendarMatchesQueue(t *testing.T) {
+	regimes := map[string]func(*rand.Rand, float64) float64{
+		"ties":    func(r *rand.Rand, now float64) float64 { return float64(r.Intn(8)) },
+		"uniform": func(r *rand.Rand, now float64) float64 { return r.Float64() * 1000 },
+		"heavy-tail": func(r *rand.Rand, now float64) float64 {
+			if r.Intn(10) == 0 {
+				return now + r.Float64()*10000
+			}
+			return now + r.Float64()
+		},
+		"advancing": func(r *rand.Rand, now float64) float64 { return now + r.Float64()*30 },
+	}
+	//lint:maporder-ok subtests are independent; execution order affects no result
+	for name, nextTime := range regimes {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var ref Queue[int]
+			cal := NewCalendar[int]()
+			now := 0.0
+			live := 0
+			for step := 0; step < 30000; step++ {
+				if live == 0 || rng.Intn(3) != 0 {
+					tm := nextTime(rng, now)
+					ref.Push(tm, step)
+					cal.Push(tm, step)
+					live++
+				} else {
+					wt, wv, wok := ref.Pop()
+					gt, gv, gok := cal.Pop()
+					if wt != gt || wv != gv || wok != gok {
+						t.Fatalf("step %d: calendar pop (%v,%v,%v) != heap pop (%v,%v,%v)",
+							step, gt, gv, gok, wt, wv, wok)
+					}
+					now = wt
+					live--
+				}
+				if cal.Len() != live {
+					t.Fatalf("Len=%d, want %d", cal.Len(), live)
+				}
+			}
+			for live > 0 {
+				wt, wv, _ := ref.Pop()
+				gt, gv, ok := cal.Pop()
+				if !ok || wt != gt || wv != gv {
+					t.Fatalf("drain: (%v,%v,%v) != (%v,%v,true)", gt, gv, ok, wt, wv)
+				}
+				live--
+			}
+			if _, _, ok := cal.Pop(); ok {
+				t.Fatal("pop on drained calendar reported ok")
+			}
+		})
+	}
+}
+
+func TestCalendarEmpty(t *testing.T) {
+	c := NewCalendar[int]()
+	if c.Len() != 0 {
+		t.Fatalf("fresh calendar Len=%d", c.Len())
+	}
+	if _, _, ok := c.Pop(); ok {
+		t.Fatal("Pop on empty calendar reported ok")
+	}
+}
+
+// TestCalendarOutOfOrderPush pushes an event far in the past after the
+// cursor has advanced; the calendar must still pop in global time
+// order (the cursor rewinds rather than sweeping a full year past the
+// latecomer).
+func TestCalendarOutOfOrderPush(t *testing.T) {
+	c := NewCalendar[int]()
+	for i := 0; i < 64; i++ {
+		c.Push(1000+float64(i), i)
+	}
+	if tm, v, _ := c.Pop(); tm != 1000 || v != 0 {
+		t.Fatalf("first pop (%v, %d)", tm, v)
+	}
+	c.Push(1, -1) // far in the past relative to the cursor
+	if tm, v, _ := c.Pop(); tm != 1 || v != -1 {
+		t.Fatalf("latecomer not popped first: (%v, %d)", tm, v)
+	}
+	if tm, v, _ := c.Pop(); tm != 1001 || v != 1 {
+		t.Fatalf("resume pop (%v, %d)", tm, v)
+	}
+}

@@ -74,6 +74,35 @@ func (q *Queue[T]) Clear() {
 	q.heap = q.heap[:0]
 }
 
+// Reset returns the queue to its freshly-constructed state while
+// keeping allocated capacity: all pending events are dropped and the
+// sequence counter rewinds to zero, so a recycled queue orders
+// same-time events exactly like a brand-new one. Engines that are
+// reused across runs call Reset instead of allocating a new queue;
+// BenchmarkQueueReset pins the zero-allocation guarantee.
+func (q *Queue[T]) Reset() {
+	q.Clear()
+	q.seq = 0
+}
+
+// pushSeq schedules v with a caller-supplied sequence number. It is
+// the building block of the sharded queue, which assigns one global
+// sequence across all shards so the K-way merge reproduces exactly the
+// single-queue total order. Callers must supply strictly increasing
+// sequence numbers.
+func (q *Queue[T]) pushSeq(time float64, seq uint64, v T) {
+	q.heap = append(q.heap, entry[T]{time: time, seq: seq, v: v})
+	q.up(len(q.heap) - 1)
+}
+
+// head returns the key of the earliest event without removing it.
+func (q *Queue[T]) head() (time float64, seq uint64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	return q.heap[0].time, q.heap[0].seq, true
+}
+
 // less orders by (time, seq).
 func (q *Queue[T]) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]

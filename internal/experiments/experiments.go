@@ -358,14 +358,28 @@ func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker chains engines through Renew so its arenas —
+			// peer arrays, link caches, event queue, scratch — are
+			// allocated once per worker, not once per sweep point.
+			// Recycling is draw-order-neutral (TestRenewMatchesFresh), so
+			// sweep results are identical to fresh-engine runs.
+			var prev *core.Engine
 			for i := range work {
 				p := params[i]
 				p.Seed = p.Seed + uint64(i)*0x9e3779b9
-				engine, err := core.New(p)
+				var engine *core.Engine
+				var err error
+				if prev != nil {
+					engine, err = prev.Renew(p)
+				} else {
+					engine, err = core.New(p)
+				}
 				if err != nil {
 					errs[i] = err
+					prev = nil
 					continue
 				}
+				prev = engine
 				engine.SetObserver(opts.Observer)
 				engine.SetMetrics(opts.Metrics)
 				res, err := engine.Run(ctx)

@@ -68,6 +68,31 @@ func (sc *Scratch) PickN(r *simrng.RNG, sel Selection, entries []cache.Entry, n 
 	return sc.pickTopK(sel, entries, n)
 }
 
+// SampleIndices draws up to k distinct indices in [0, n) via Floyd's
+// sampling, consuming exactly the Intn sequence — and appending in
+// exactly the order — of the classic map-based loop
+//
+//	chosen := make(map[int]bool, k)
+//	for i := n - k; i < n; i++ { j := r.Intn(i+1); if chosen[j] { j = i }; ... }
+//
+// but with the Scratch's generation-stamped mark table instead of a
+// per-call map, so it is allocation-free in the steady state. The
+// returned slice aliases the Scratch and is valid until the next call.
+// Simulation engines use it for population sampling (e.g. time-zero
+// cache seeding), where the sampled universe is a peer slice rather
+// than a cache entry slice; TestSampleIndicesMatchesReference pins the
+// draw-order equivalence.
+func (sc *Scratch) SampleIndices(r *simrng.RNG, n, k int) []int {
+	sc.idx = sc.idx[:0]
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	return sc.pickRandom(r, n, k)
+}
+
 // pickRandom runs Floyd's sampling exactly as the reference PickN does
 // — the same Intn sequence and the same append order — but records
 // "chosen" in the generation-stamped mark table instead of a per-call

@@ -160,3 +160,67 @@ func TestSelectorReset(t *testing.T) {
 		}
 	}
 }
+
+// TestSampleIndicesMatchesReference pins SampleIndices to the map-based
+// Floyd loop it replaces (the engine's former samplePeers body): same
+// indices in the same order, same RNG consumption, for every (n, k).
+func TestSampleIndicesMatchesReference(t *testing.T) {
+	reference := func(r *simrng.RNG, n, k int) []int {
+		if k > n {
+			k = n
+		}
+		chosen := make(map[int]bool, k)
+		out := make([]int, 0, k)
+		for i := n - k; i < n; i++ {
+			j := r.Intn(i + 1)
+			if chosen[j] {
+				j = i
+			}
+			chosen[j] = true
+			out = append(out, j)
+		}
+		return out
+	}
+	var sc Scratch
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, n := range []int{1, 2, 3, 10, 64, 500} {
+			for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 7} {
+				rRef := simrng.New(seed * 13)
+				rFast := simrng.New(seed * 13)
+				ref := reference(rRef, n, k)
+				got := sc.SampleIndices(rFast, n, k)
+				if len(ref) != len(got) {
+					t.Fatalf("n=%d k=%d: len %d != %d", n, k, len(got), len(ref))
+				}
+				for i := range ref {
+					if ref[i] != got[i] {
+						t.Fatalf("n=%d k=%d: idx[%d] = %d, want %d", n, k, i, got[i], ref[i])
+					}
+				}
+				if a, b := rRef.Uint64(), rFast.Uint64(); a != b {
+					t.Fatalf("n=%d k=%d: RNG diverged after call", n, k)
+				}
+				seen := make(map[int]bool, len(got))
+				for _, j := range got {
+					if j < 0 || j >= n || seen[j] {
+						t.Fatalf("n=%d k=%d: invalid or duplicate index %d in %v", n, k, j, got)
+					}
+					seen[j] = true
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSampleIndices pins the zero-allocation guarantee of the
+// population-sampling fast path.
+func BenchmarkSampleIndices(b *testing.B) {
+	r := simrng.New(1)
+	var sc Scratch
+	sc.SampleIndices(r, 1024, 16) // reach the high-water mark
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.SampleIndices(r, 1024, 16)
+	}
+}
