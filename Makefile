@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check cover-check obs-smoke experiments-quick experiments-full clean
+.PHONY: all build vet lint vuln test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check cover-check obs-smoke sweep-smoke experiments-quick experiments-full clean
 
-all: build vet lint test fuzz-smoke bench-smoke obs-smoke
+all: build vet lint test fuzz-smoke bench-smoke obs-smoke sweep-smoke
 
 # The packages with hot-path microbenchmarks (b.ReportAllocs); see also
 # the top-level BenchmarkSingleRun in bench_test.go.
@@ -141,6 +141,14 @@ obs-smoke:
 	curl -fsS http://127.0.0.1:9464/healthz | grep -q '"status":"ok"' || \
 	  { echo "obs-smoke: /healthz not ok" >&2; exit 1; }; \
 	echo "obs-smoke: /metrics, /metrics.json and /healthz OK"
+
+# End-to-end smoke of distributed sweep orchestration: a 2-worker
+# in-process pool (coordinator + workers over the full wire protocol)
+# must render every smoke experiment byte-identical to the
+# single-process path.
+sweep-smoke:
+	$(GO) build -o /tmp/guess-sweep ./cmd/guess-sweep
+	/tmp/guess-sweep -smoke
 
 # Coverage gate for the protocol substrates and the experiment
 # harness: the cross-protocol property suite only means something

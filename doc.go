@@ -23,6 +23,9 @@
 //     periodic status lines;
 //   - RunExperiment regenerates any table or figure from the paper's
 //     evaluation section (Table 3, Figures 3-21) — see ExperimentIDs;
+//     LookupExperiment returns the typed Experiment handle behind it,
+//     whose sweep specs (ExperimentSpec, ExperimentPoint) are plain
+//     data — inspectable, serializable, and executable out of process;
 //   - the policy constants (Random, MRU, LRU, MFS, MR, MRStar and the
 //     eviction counterparts) name the five policy families studied.
 //
@@ -41,6 +44,16 @@
 // The deprecated RunConfig shim keeps the old call shape compiling;
 // new code should call Run directly. See README.md, "Observability",
 // for the metric and trace schemas.
+//
+// The experiment runner likewise moved from a string-keyed entry point
+// to a typed one: code that called the internal experiments.Run(id,
+// opts) should move to LookupExperiment(id) followed by Experiment.Run
+// — the lookup separates "does this artifact exist" from "did the
+// sweep succeed", and the handle exposes the sweep's typed specs.
+// Distribution rides on the same types: set ExperimentOptions.Executor
+// to a coordinator or worker pool (internal/orchestrate, cmd/guess-sweep)
+// and the sweep fans out across workers while producing byte-identical
+// artifacts. See README.md, "Distributed sweeps".
 //
 // The substrates live in internal packages: the discrete-event engine
 // (internal/core), the content and churn models (internal/content,

@@ -269,7 +269,35 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // ExperimentTitle describes an experiment ID.
 func ExperimentTitle(id string) (string, error) { return experiments.Title(id) }
 
+// Experiment is a typed handle on one paper artifact: inspect its
+// sweep specs (Specs) or execute it (Run).
+type Experiment = experiments.Experiment
+
+// ExperimentFamily discriminates the protocol families an experiment
+// point can run on ("guess", "flood", "gossip", "dht").
+type ExperimentFamily = experiments.Family
+
+// ExperimentSpec is a serializable description of one sweep: the
+// protocol family plus the fully-resolved parameters of every point.
+type ExperimentSpec = experiments.Spec
+
+// ExperimentPoint is one serializable, content-addressed sweep work
+// unit (see its Key method).
+type ExperimentPoint = experiments.Point
+
+// ExperimentPointResult is the serializable outcome of one point.
+type ExperimentPointResult = experiments.PointResult
+
+// LookupExperiment resolves an experiment ID to its typed handle.
+func LookupExperiment(id string) (Experiment, error) {
+	return experiments.Lookup(id)
+}
+
 // RunExperiment regenerates one paper table or figure.
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
-	return experiments.Run(id, opts)
+	exp, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(opts)
 }

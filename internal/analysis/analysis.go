@@ -152,6 +152,10 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/gossip":   true,
 	"repro/internal/dht":      true,
 	"repro/internal/obs":      true,
+	// orchestrate must keep distributed results byte-identical to
+	// local ones; its only wall-clock use (the worker liveness
+	// watchdog) carries a reasoned suppression.
+	"repro/internal/orchestrate": true,
 }
 
 // IsDeterministic reports whether the import path names a package

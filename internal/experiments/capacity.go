@@ -9,8 +9,10 @@ import (
 )
 
 func init() {
-	register("fig14", "Figure 14: probe breakdown under capacity limits (MR policies)", runFig14)
-	register("fig15", "Figure 15: unsatisfaction vs capacity limit", runFig15)
+	register("fig14", "Figure 14: probe breakdown under capacity limits (MR policies)",
+		fig14Specs, fig14Render)
+	register("fig15", "Figure 15: unsatisfaction vs capacity limit",
+		fig15Specs, fig15Render)
 }
 
 // mrParams is the Section 6.3 configuration: the load-concentrating MR
@@ -33,22 +35,25 @@ func capacityNetworkSizes(scale Scale) []int {
 	return []int{200, 400}
 }
 
-func runFig14(opts Options) (*Result, error) {
-	nets := capacityNetworkSizes(opts.Scale)
-	caps := []int{50, 10, 5, 1}
+func fig14Caps() []int { return []int{50, 10, 5, 1} }
+
+func fig14Specs(opts Options) []Spec {
 	var params []core.Params
-	for _, n := range nets {
-		for _, c := range caps {
+	for _, n := range capacityNetworkSizes(opts.Scale) {
+		for _, c := range fig14Caps() {
 			p := mrParams(opts)
 			p.NetworkSize = n
 			p.MaxProbesPerSecond = c
 			params = append(params, p)
 		}
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func fig14Render(opts Options, batches [][]PointResult) (*Result, error) {
+	nets := capacityNetworkSizes(opts.Scale)
+	caps := fig14Caps()
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Figure 14: probes per query under capacity limits (MR policies)",
 		"NetworkSize", "MaxProbesPerSecond", "GoodProbes", "RefusedProbes", "DeadProbes")
 	idx := 0
@@ -62,22 +67,25 @@ func runFig14(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runFig15(opts Options) (*Result, error) {
-	nets := capacityNetworkSizes(opts.Scale)
-	caps := []int{1, 2, 5, 10, 20, 50}
+func fig15Caps() []int { return []int{1, 2, 5, 10, 20, 50} }
+
+func fig15Specs(opts Options) []Spec {
 	var params []core.Params
-	for _, n := range nets {
-		for _, c := range caps {
+	for _, n := range capacityNetworkSizes(opts.Scale) {
+		for _, c := range fig15Caps() {
 			p := mrParams(opts)
 			p.NetworkSize = n
 			p.MaxProbesPerSecond = c
 			params = append(params, p)
 		}
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func fig15Render(opts Options, batches [][]PointResult) (*Result, error) {
+	nets := capacityNetworkSizes(opts.Scale)
+	caps := fig15Caps()
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Figure 15: unsatisfaction vs capacity limit (MR policies)",
 		"NetworkSize", "MaxProbesPerSecond", "Unsatisfaction")
 	chart := report.NewChart("Figure 15", "MaxProbesPerSecond", "Unsatisfied queries")

@@ -4,6 +4,15 @@
 // the series the paper plots; EXPERIMENTS.md records paper-vs-measured
 // outcomes.
 //
+// An experiment is defined in two halves: a spec builder that maps the
+// options to typed, serializable sweep Specs (see spec.go), and a
+// renderer that projects the sweep results into the paper's tables and
+// charts. RunSpec executes a Spec — locally on a bounded worker pool,
+// or through Options.Executor on a distributed coordinator — and
+// Experiment.Run glues the halves together. The legacy string-keyed
+// Run(id, opts) entry survives as a deprecated shim over Lookup and
+// Experiment.Run.
+//
 // Experiments run at two scales: Quick (small networks and short
 // measurement windows, for benchmarks and CI) and Full (the paper's
 // parameters). Sweep points run in parallel, one engine per
@@ -55,7 +64,8 @@ type Options struct {
 	// Replications pools this many independently seeded runs per sweep
 	// point (0 or 1 = single run). Derived per-query metrics then
 	// reflect the pooled runs, smoothing figures at a proportional
-	// compute cost.
+	// compute cost. Replication applies to GUESS sweeps; the other
+	// families run one engine per point.
 	Replications int
 	// Progress, when non-nil, receives one line per completed run.
 	// Writes are serialized across the worker pool (and across
@@ -74,6 +84,14 @@ type Options struct {
 	// sweep; counters aggregate across runs. Memo-cached sweeps do not
 	// re-run and leave it untouched.
 	Metrics *obs.SimMetrics
+	// Executor, when non-nil, executes expanded sweep points instead of
+	// the built-in in-process pool — the seam internal/orchestrate's
+	// coordinator and worker pool plug into. Observer and Metrics still
+	// apply only where the executor chooses to attach them: the
+	// in-process pool forwards both, a TCP coordinator forwards
+	// neither (workers stream progress frames instead). Results are
+	// byte-identical either way; only event delivery differs.
+	Executor Executor
 }
 
 func (o Options) seed() uint64 {
@@ -159,25 +177,30 @@ func (r *Result) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// Runner produces one experiment result.
-type Runner func(Options) (*Result, error)
+// specsFunc maps options to an experiment's sweep Specs.
+type specsFunc func(Options) []Spec
+
+// renderFunc projects sweep results (one batch per Spec, in spec
+// order, replication-merged) into the experiment's tables and charts.
+type renderFunc func(Options, [][]PointResult) (*Result, error)
 
 // experiment is a registry entry.
 type experiment struct {
-	title string
-	run   Runner
+	title  string
+	specs  specsFunc
+	render renderFunc
 }
 
-// registry maps experiment IDs to runners. Populated by init functions
-// in the per-area files.
+// registry maps experiment IDs to definitions. Populated by init
+// functions in the per-area files.
 var registry = map[string]experiment{}
 
 // register adds an experiment at package init time.
-func register(id, title string, run Runner) {
+func register(id, title string, specs specsFunc, render renderFunc) {
 	if _, dup := registry[id]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %q", id))
 	}
-	registry[id] = experiment{title: title, run: run}
+	registry[id] = experiment{title: title, specs: specs, render: render}
 }
 
 // IDs returns all experiment identifiers in a stable order: the paper
@@ -222,19 +245,69 @@ func Title(id string) (string, error) {
 	return e.title, nil
 }
 
-// Run executes the experiment with the given options.
-func Run(id string, opts Options) (*Result, error) {
+// Experiment is the typed handle on one registered experiment: its
+// canonical sweep Specs and the renderer that turns their results into
+// the paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+
+	specs  specsFunc
+	render renderFunc
+}
+
+// Lookup resolves an experiment ID.
+func Lookup(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	res, err := e.run(opts)
+	return Experiment{ID: id, Title: e.title, specs: e.specs, render: e.render}, nil
+}
+
+// Specs returns the experiment's canonical sweep specs for the
+// options: the typed, serializable decomposition a coordinator can
+// fan out to workers point by point.
+func (e Experiment) Specs(opts Options) []Spec {
+	return e.specs(opts)
+}
+
+// Run executes the experiment: every spec through RunSpec (and so
+// through Options.Executor when set), then the renderer over the
+// collected results.
+func (e Experiment) Run(opts Options) (*Result, error) {
+	specs := e.specs(opts)
+	results := make([][]PointResult, len(specs))
+	for i, spec := range specs {
+		rs, err := RunSpec(opts, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		results[i] = rs
+	}
+	res, err := e.render(opts, results)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
 	}
-	res.ID = id
-	res.Title = e.title
+	res.ID = e.ID
+	res.Title = e.Title
 	return res, nil
+}
+
+// Run executes the experiment with the given options.
+//
+// Deprecated: Run is the legacy string-keyed entry point. It survives
+// as a thin shim over the typed Spec API — Lookup(id) for the
+// experiment handle, Experiment.Specs for its canonical sweep Specs,
+// and Experiment.Run or RunSpec to execute — which is what new code
+// (and anything that needs to serialize or distribute work) should
+// use.
+func Run(id string, opts Options) (*Result, error) {
+	e, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
 }
 
 // sweepMemo caches completed sweeps within a process. Several figures
@@ -242,19 +315,17 @@ func Run(id string, opts Options) (*Result, error) {
 // cache-size sweep; Figures 16-18 and 19-21 share the poisoning
 // sweeps); on a small machine re-running them would dominate the
 // suite's cost. Keys include every input that affects the runs.
-var sweepMemo sync.Map // string -> []*core.Results
+var sweepMemo sync.Map // string -> []PointResult
 
 // memoKey builds a cache key from the protocol family, the options, a
 // sweep label, and a digest of the parameter sets themselves. The
 // family discriminator ("guess", "gossip", "dht", ...) guarantees that
 // results cached for one engine can never be served to a different
-// protocol whose label, scale, seed, and digest happen to coincide —
-// the cache stores untyped values, so a collision would surface as a
-// type-assertion panic at best and silent cross-protocol reuse at
-// worst. The digest matters too: labels are chosen by experiment
-// authors, and two sweeps sharing a label, scale, seed, and
-// replication count but differing in params (say, after an experiment
-// is re-tuned) must never silently collide.
+// protocol whose label, scale, seed, and digest happen to coincide.
+// The digest matters too: labels are chosen by experiment authors, and
+// two sweeps sharing a label, scale, seed, and replication count but
+// differing in params (say, after an experiment is re-tuned) must
+// never silently collide.
 func memoKey(family string, opts Options, label, digest string) string {
 	return fmt.Sprintf("%s|%s|scale=%v|seed=%d|reps=%d|params=%s",
 		family, label, opts.Scale, opts.seed(), opts.Replications, digest)
@@ -264,7 +335,7 @@ func memoKey(family string, opts Options, label, digest string) string {
 // (length-prefixed, so concatenation ambiguities cannot produce equal
 // digests for different sweeps). Core's Params serializes completely
 // except the Trace writer, which never participates in sweeps; the
-// gossip and DHT parameter structs are plain data.
+// flood, gossip and DHT parameter structs are plain data.
 func paramsDigest[T any](params []T) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "n=%d;", len(params))
@@ -282,76 +353,139 @@ func paramsDigest[T any](params []T) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// runAllMemo is runAll with process-level memoization under the given
-// label.
-func runAllMemo(opts Options, label string, params []core.Params) ([]*core.Results, error) {
-	key := memoKey("guess", opts, label, paramsDigest(params))
-	if v, ok := sweepMemo.Load(key); ok {
-		return v.([]*core.Results), nil
+// RunSpec executes every point of a sweep Spec, returning one
+// replication-merged PointResult per declared point, in spec order.
+//
+// This is the single memoized executor behind every sweep: a labeled
+// spec is cached process-wide under its family-discriminated memoKey
+// (an empty Label disables memoization), GUESS points expand
+// Options.Replications independently seeded runs per point and merge
+// them back, and execution goes to Options.Executor when set —
+// otherwise GUESS sweeps run on the bounded in-process pool and the
+// other families run sequentially through their family Runner.
+func RunSpec(opts Options, spec Spec) ([]PointResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	results, err := runAll(opts, params)
+	memoize := spec.Label != ""
+	var key string
+	if memoize {
+		key = memoKey(string(spec.Family), opts, spec.Label, spec.digest())
+		if v, ok := sweepMemo.Load(key); ok {
+			return v.([]PointResult), nil
+		}
+	}
+	results, err := runSpec(opts, spec)
 	if err != nil {
 		return nil, err
 	}
-	sweepMemo.Store(key, results)
+	if memoize {
+		sweepMemo.Store(key, results)
+	}
 	return results, nil
 }
 
-// runAll executes a batch of parameter sets in parallel, preserving
-// order, pooling Options.Replications independently seeded runs per
-// point.
-func runAll(opts Options, params []core.Params) ([]*core.Results, error) {
-	reps := opts.Replications
-	if reps < 1 {
-		reps = 1
+// replicationSeed decorrelates replicated runs of one sweep point.
+const replicationSeed = 0x51ed2701
+
+// pointSeed decorrelates the expanded points of one sweep.
+const pointSeed = 0x9e3779b9
+
+// expandPoints turns a spec into the executable point list. For GUESS
+// sweeps each point expands into reps independently seeded runs, and
+// every expanded point gets a distinct seed derived from its index so
+// sweep points are independent but reproducible. Expansion happens
+// here — before the executor seam — so a distributed worker receives
+// final parameters and local and remote execution agree byte for byte.
+func expandPoints(opts Options, spec Spec, reps int) []Point {
+	if spec.Family != FamilyGUESS {
+		pts := make([]Point, spec.NumPoints())
+		for i := range pts {
+			pts[i] = spec.Point(i)
+		}
+		return pts
 	}
-	if reps == 1 {
-		return runFlat(opts, params)
-	}
-	expanded := make([]core.Params, 0, len(params)*reps)
-	for _, p := range params {
+	pts := make([]Point, 0, len(spec.Core)*reps)
+	for _, p := range spec.Core {
 		for r := 0; r < reps; r++ {
 			rp := p
-			rp.Seed = p.Seed + uint64(r+1)*0x51ed2701
-			expanded = append(expanded, rp)
+			if reps > 1 {
+				rp.Seed = p.Seed + uint64(r+1)*replicationSeed
+			}
+			rp.Seed += uint64(len(pts)) * pointSeed
+			pts = append(pts, Point{Family: FamilyGUESS, Core: &rp})
 		}
 	}
-	flat, err := runFlat(opts, expanded)
+	return pts
+}
+
+// runSpec executes a validated spec without consulting the memo.
+func runSpec(opts Options, spec Spec) ([]PointResult, error) {
+	reps := opts.Replications
+	if reps < 1 || spec.Family != FamilyGUESS {
+		reps = 1
+	}
+	expanded := expandPoints(opts, spec, reps)
+	var prs []PointResult
+	var err error
+	switch {
+	case opts.Executor != nil:
+		prs, err = opts.Executor.RunPoints(opts.ctx(), expanded)
+	case spec.Family == FamilyGUESS:
+		prs, err = runPool(opts, expanded)
+	default:
+		prs, err = runSequential(opts, expanded)
+	}
 	if err != nil {
 		return nil, err
 	}
-	merged := make([]*core.Results, len(params))
-	for i := range params {
-		merged[i] = core.MergeResults(flat[i*reps : (i+1)*reps])
+	if len(prs) != len(expanded) {
+		return nil, fmt.Errorf("experiments: executor returned %d results for %d points", len(prs), len(expanded))
+	}
+	for i, pr := range prs {
+		if err := pr.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: point %d: %w", i, err)
+		}
+		if pr.Family != spec.Family {
+			return nil, fmt.Errorf("experiments: point %d: result family %q for a %q sweep", i, pr.Family, spec.Family)
+		}
+	}
+	if reps == 1 {
+		return prs, nil
+	}
+	merged := make([]PointResult, len(spec.Core))
+	for i := range merged {
+		group := coreResultsOf(prs[i*reps : (i+1)*reps])
+		merged[i] = PointResult{Family: FamilyGUESS, Core: core.MergeResults(group)}
 	}
 	return merged, nil
 }
 
 // progressMu serializes Options.Progress writes. It is package-level,
-// not per-runFlat call: two concurrent experiment runs pointed at the
+// not per-pool call: two concurrent experiment runs pointed at the
 // same writer (the CLI does this for memoized figure groups) must not
 // interleave either — per-call mutexes would only protect within one
 // pool. TestParallelProgressRace exercises this under -race.
 var progressMu sync.Mutex
 
-// runFlat executes each parameter set once on a bounded pool of
-// opts.parallelism() workers, preserving order. Each run gets a
-// distinct seed derived from its index so sweep points are independent
-// but reproducible. A worker pool (rather than one goroutine per point
-// gated on a semaphore) keeps goroutine count — and therefore stack
-// and scheduler footprint — flat even for multi-thousand-point sweeps.
+// runPool executes expanded GUESS points on a bounded pool of
+// opts.parallelism() workers, preserving order. Seeds were already
+// derived by expandPoints. A worker pool (rather than one goroutine
+// per point gated on a semaphore) keeps goroutine count — and
+// therefore stack and scheduler footprint — flat even for
+// multi-thousand-point sweeps.
 //
 // Cancelling opts.Context stops the feeder (no new runs start),
 // interrupts in-flight runs at their next event batch, and makes
-// runFlat return the context's error.
-func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
+// runPool return the context's error.
+func runPool(opts Options, pts []Point) ([]PointResult, error) {
 	ctx := opts.ctx()
-	results := make([]*core.Results, len(params))
-	errs := make([]error, len(params))
+	results := make([]PointResult, len(pts))
+	errs := make([]error, len(pts))
 	work := make(chan int)
 	workers := opts.parallelism()
-	if workers > len(params) {
-		workers = len(params)
+	if workers > len(pts) {
+		workers = len(pts)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -365,8 +499,7 @@ func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 			// sweep results are identical to fresh-engine runs.
 			var prev *core.Engine
 			for i := range work {
-				p := params[i]
-				p.Seed = p.Seed + uint64(i)*0x9e3779b9
+				p := *pts[i].Core
 				var engine *core.Engine
 				var err error
 				if prev != nil {
@@ -387,18 +520,18 @@ func runFlat(opts Options, params []core.Params) ([]*core.Results, error) {
 					errs[i] = err
 					continue
 				}
-				results[i] = res
+				results[i] = PointResult{Family: FamilyGUESS, Core: res}
 				if opts.Progress != nil {
 					progressMu.Lock()
 					fmt.Fprintf(opts.Progress, "  run %d/%d done (N=%d cache=%d)\n",
-						i+1, len(params), p.NetworkSize, p.CacheSize)
+						i+1, len(pts), p.NetworkSize, p.CacheSize)
 					progressMu.Unlock()
 				}
 			}
 		}()
 	}
 feed:
-	for i := range params {
+	for i := range pts {
 		select {
 		case work <- i:
 		case <-ctx.Done():
@@ -414,6 +547,22 @@ feed:
 		if err != nil {
 			return nil, err
 		}
+	}
+	return results, nil
+}
+
+// runSequential executes flood/gossip/DHT points one at a time through
+// the family Runner — these sweeps are one or a handful of points, so
+// pooling would buy nothing.
+func runSequential(opts Options, pts []Point) ([]PointResult, error) {
+	results := make([]PointResult, len(pts))
+	o := Observation{Observer: opts.Observer}
+	for i, pt := range pts {
+		pr, err := RunPoint(opts.ctx(), pt, o)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = pr
 	}
 	return results, nil
 }
@@ -446,7 +595,7 @@ func cacheSizesFor(networkSize int, scale Scale) []int {
 // networkSizesFor returns the network-size sweep.
 func networkSizesFor(scale Scale) []int {
 	if scale == Full {
-		return []int{200, 500, 1000, 2000, 5000}
+		return []int{200, 500, 1000, 2000}
 	}
 	return []int{200, 400}
 }

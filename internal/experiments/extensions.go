@@ -8,52 +8,60 @@ import (
 )
 
 func init() {
-	register("ext-adaptive", "Extension: adaptive parallel probes (paper §6.2 future work)", runExtAdaptive)
-	register("ext-selfish", "Extension: selfish peers and probe payments (paper §3.3)", runExtSelfish)
-	register("ext-detection", "Extension: pong-poisoning detection (paper §6.4 future work)", runExtDetection)
-	register("abl-pongsize", "Ablation: pong size vs query cost and cache health", runAblPongSize)
-	register("abl-introprob", "Ablation: introduction probability vs performance", runAblIntroProb)
+	register("ext-adaptive", "Extension: adaptive parallel probes (paper §6.2 future work)",
+		extAdaptiveSpecs, extAdaptiveRender)
+	register("ext-selfish", "Extension: selfish peers and probe payments (paper §3.3)",
+		extSelfishSpecs, extSelfishRender)
+	register("ext-detection", "Extension: pong-poisoning detection (paper §6.4 future work)",
+		extDetectionSpecs, extDetectionRender)
+	register("abl-pongsize", "Ablation: pong size vs query cost and cache health",
+		ablPongSizeSpecs, ablPongSizeRender)
+	register("abl-introprob", "Ablation: introduction probability vs performance",
+		ablIntroProbSpecs, ablIntroProbRender)
 }
 
-func runExtAdaptive(opts Options) (*Result, error) {
-	type mode struct {
-		name   string
-		mutate func(*core.Params)
-	}
-	modes := []mode{
-		{"serial (spec)", func(*core.Params) {}},
-		{"parallel k=5", func(p *core.Params) { p.ParallelProbes = 5 }},
-		{"parallel k=10", func(p *core.Params) { p.ParallelProbes = 10 }},
-		{"adaptive (2x on stall)", func(p *core.Params) {
-			p.AdaptiveParallel = true
-			p.AdaptiveParallelWindow = 5
-			p.MaxParallelProbes = 64
-		}},
-	}
-	params := make([]core.Params, len(modes))
-	for i, m := range modes {
+// adaptiveModes are the ext-adaptive probe dispatch variants.
+var adaptiveModes = []struct {
+	name   string
+	mutate func(*core.Params)
+}{
+	{"serial (spec)", func(*core.Params) {}},
+	{"parallel k=5", func(p *core.Params) { p.ParallelProbes = 5 }},
+	{"parallel k=10", func(p *core.Params) { p.ParallelProbes = 10 }},
+	{"adaptive (2x on stall)", func(p *core.Params) {
+		p.AdaptiveParallel = true
+		p.AdaptiveParallelWindow = 5
+		p.MaxParallelProbes = 64
+	}},
+}
+
+func extAdaptiveSpecs(opts Options) []Spec {
+	params := make([]core.Params, len(adaptiveModes))
+	for i, m := range adaptiveModes {
 		p := opts.baseParams()
 		m.mutate(&p)
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func extAdaptiveRender(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Adaptive parallel probes: cost vs response time",
 		"Mode", "ProbesPerQuery", "AvgResponseTime", "Unsatisfaction")
-	for i, m := range modes {
+	for i, m := range adaptiveModes {
 		r := results[i]
 		t.AddRow(m.name, r.ProbesPerQuery(), r.AvgResponseTime(), r.UnsatisfactionWithAborted())
 	}
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runExtSelfish(opts Options) (*Result, error) {
-	fractions := []float64{0, 10, 30}
+var selfishFractions = []float64{0, 10, 30}
+
+func extSelfishSpecs(opts Options) []Spec {
 	var params []core.Params
 	for _, payments := range []bool{false, true} {
-		for _, f := range fractions {
+		for _, f := range selfishFractions {
 			p := opts.baseParams()
 			p.PercentSelfishPeers = f
 			p.SelfishParallelProbes = 500
@@ -62,15 +70,16 @@ func runExtSelfish(opts Options) (*Result, error) {
 			params = append(params, p)
 		}
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func extSelfishRender(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Selfish peers: network load with and without probe payments",
 		"ProbePayments", "PercentSelfish", "TotalProbesReceived", "RefusedPerQuery", "Top1%LoadShare")
 	idx := 0
 	for _, payments := range []bool{false, true} {
-		for _, f := range fractions {
+		for _, f := range selfishFractions {
 			r := results[idx]
 			loads := make([]float64, len(r.PeerLoads))
 			for i, l := range r.PeerLoads {
@@ -83,7 +92,7 @@ func runExtSelfish(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runExtDetection(opts Options) (*Result, error) {
+func extDetectionSpecs(opts Options) []Spec {
 	fractions := poisonFractions(opts.Scale)
 	var params []core.Params
 	for _, detect := range []bool{false, true} {
@@ -100,10 +109,12 @@ func runExtDetection(opts Options) (*Result, error) {
 			params = append(params, p)
 		}
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func extDetectionRender(opts Options, batches [][]PointResult) (*Result, error) {
+	fractions := poisonFractions(opts.Scale)
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Poison detection: MFS under dead-address poisoning",
 		"Detection", "PercentBadPeers", "ProbesPerQuery", "DeadPerQuery", "Unsatisfaction", "Blacklisted")
 	idx := 0
@@ -118,42 +129,46 @@ func runExtDetection(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runAblPongSize(opts Options) (*Result, error) {
-	sizes := []int{1, 2, 5, 10, 20}
-	params := make([]core.Params, len(sizes))
-	for i, s := range sizes {
+var pongSizes = []int{1, 2, 5, 10, 20}
+
+func ablPongSizeSpecs(opts Options) []Spec {
+	params := make([]core.Params, len(pongSizes))
+	for i, s := range pongSizes {
 		p := opts.baseParams()
 		p.PongSize = s
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func ablPongSizeRender(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Ablation: pong size",
 		"PongSize", "ProbesPerQuery", "Unsatisfaction", "AvgLiveEntries")
-	for i, s := range sizes {
+	for i, s := range pongSizes {
 		r := results[i]
 		t.AddRow(s, r.ProbesPerQuery(), r.UnsatisfactionWithAborted(), r.AvgLiveEntries)
 	}
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runAblIntroProb(opts Options) (*Result, error) {
-	probs := []float64{0, 0.05, 0.1, 0.3, 1}
-	params := make([]core.Params, len(probs))
-	for i, pr := range probs {
+var introProbs = []float64{0, 0.05, 0.1, 0.3, 1}
+
+func ablIntroProbSpecs(opts Options) []Spec {
+	params := make([]core.Params, len(introProbs))
+	for i, pr := range introProbs {
 		p := opts.baseParams()
 		p.IntroProb = pr
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func ablIntroProbRender(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Ablation: introduction probability",
 		"IntroProb", "ProbesPerQuery", "Unsatisfaction", "AvgLiveEntries")
-	for i, pr := range probs {
+	for i, pr := range introProbs {
 		r := results[i]
 		t.AddRow(pr, r.ProbesPerQuery(), r.UnsatisfactionWithAborted(), r.AvgLiveEntries)
 	}

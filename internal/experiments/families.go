@@ -10,86 +10,60 @@ package experiments
 // level. Message semantics are per-family (probes, flood forwards,
 // rumor pushes/pulls, routing hops) — the comparison mirrors the
 // paper's cost-per-query framing, not a wire-identical protocol.
+//
+// Each family is one single-point Spec, all executed through the same
+// memoized RunSpec path — the family discriminator in the memo key
+// (and in every Point) keeps the four result types apart, which is
+// what let the old per-family memo helpers (runGossipMemo/runDHTMemo)
+// collapse into the generic executor.
 
 import (
 	"fmt"
 
-	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/dht"
-	"repro/internal/gnutella"
 	"repro/internal/gossip"
 	"repro/internal/report"
-	"repro/internal/simrng"
 	"repro/internal/stats"
 )
 
 func init() {
 	register("cmp-families",
 		"Four-family comparison: GUESS vs flooding vs gossip vs DHT (satisfaction, cost, load fairness)",
-		runFamilies)
-}
-
-// runGossipMemo runs gossip parameter sets sequentially with
-// process-level memoization under the given label. Runs share the
-// sweepMemo cache with GUESS sweeps; the memo key's family
-// discriminator keeps the result types apart. Options.Replications is
-// not expanded (one run per point).
-func runGossipMemo(opts Options, label string, params []gossip.Params) ([]*gossip.Results, error) {
-	key := memoKey("gossip", opts, label, paramsDigest(params))
-	if v, ok := sweepMemo.Load(key); ok {
-		return v.([]*gossip.Results), nil
-	}
-	out := make([]*gossip.Results, len(params))
-	for i, p := range params {
-		e, err := gossip.New(p)
-		if err != nil {
-			return nil, err
-		}
-		e.SetObserver(opts.Observer)
-		res, err := e.Run(opts.ctx())
-		if err != nil {
-			return nil, err
-		}
-		if res.Interrupted {
-			return nil, opts.ctx().Err()
-		}
-		out[i] = res
-	}
-	sweepMemo.Store(key, out)
-	return out, nil
-}
-
-// runDHTMemo is runGossipMemo for the DHT engine.
-func runDHTMemo(opts Options, label string, params []dht.Params) ([]*dht.Results, error) {
-	key := memoKey("dht", opts, label, paramsDigest(params))
-	if v, ok := sweepMemo.Load(key); ok {
-		return v.([]*dht.Results), nil
-	}
-	out := make([]*dht.Results, len(params))
-	for i, p := range params {
-		e, err := dht.New(p)
-		if err != nil {
-			return nil, err
-		}
-		e.SetObserver(opts.Observer)
-		res, err := e.Run(opts.ctx())
-		if err != nil {
-			return nil, err
-		}
-		if res.Interrupted {
-			return nil, opts.ctx().Err()
-		}
-		out[i] = res
-	}
-	sweepMemo.Store(key, out)
-	return out, nil
+		familiesSpecs, familiesRender)
 }
 
 // familyDeadFraction is the static churn stand-in used by the gossip
 // and DHT rows, matching the ~10% dead-address level a GUESS cache
 // sees under default churn.
 const familyDeadFraction = 0.1
+
+// familiesShape returns the comparison's network size and query count.
+func familiesShape(opts Options) (n, queries int) {
+	n, queries = 1000, 3000
+	if opts.Scale == Quick {
+		n, queries = 400, 1000
+	}
+	return n, queries
+}
+
+// guessFamilyParams builds the GUESS configuration for the comparison.
+func guessFamilyParams(opts Options, n int) core.Params {
+	p := opts.baseParams()
+	p.NetworkSize = n
+	return p
+}
+
+// floodFamilyParams builds the flooding configuration: a static random
+// overlay sharing the content model.
+func floodFamilyParams(opts Options, n, queries int) FloodParams {
+	p := DefaultFloodParams()
+	p.NetworkSize = n
+	p.NumQueries = queries
+	p.Seed = opts.seed()
+	p.Content = opts.baseParams().Content
+	return p
+}
 
 // gossipFamilyParams builds the gossip configuration for the
 // comparison at network size n with the shared content model.
@@ -114,6 +88,20 @@ func dhtFamilyParams(opts Options, n, lookups int) dht.Params {
 	return p
 }
 
+// familiesSpecs returns one single-point Spec per family, in table
+// order. The GUESS label keeps its pre-Spec "families-guess" form and
+// the other three share "families" — their memo keys stay distinct
+// through the family discriminator.
+func familiesSpecs(opts Options) []Spec {
+	n, queries := familiesShape(opts)
+	return []Spec{
+		{Family: FamilyGUESS, Label: "families-guess", Core: []core.Params{guessFamilyParams(opts, n)}},
+		{Family: FamilyFlood, Label: "families", Flood: []FloodParams{floodFamilyParams(opts, n, queries)}},
+		{Family: FamilyGossip, Label: "families", Gossip: []gossip.Params{gossipFamilyParams(opts, n, queries)}},
+		{Family: FamilyDHT, Label: "families", DHT: []dht.Params{dhtFamilyParams(opts, n, queries)}},
+	}
+}
+
 // loadFloats converts a load vector for the stats helpers.
 func loadFloats(loads []int64) []float64 {
 	out := make([]float64, len(loads))
@@ -123,74 +111,31 @@ func loadFloats(loads []int64) []float64 {
 	return out
 }
 
-func runFamilies(opts Options) (*Result, error) {
-	n := 1000
-	queries := 3000
-	if opts.Scale == Quick {
-		n = 400
-		queries = 1000
-	}
+func familiesRender(opts Options, batches [][]PointResult) (*Result, error) {
+	n, queries := familiesShape(opts)
+	base := guessFamilyParams(opts, n)
 
 	t := report.NewTable("Four-family comparison: satisfaction, cost per query, load fairness",
 		"Family", "Config", "Satisfaction", "MsgsPerQuery", "LoadGini", "Top1%Share")
 
 	// GUESS: the full engine with churn, maintenance, and link caches.
-	base := opts.baseParams()
-	base.NetworkSize = n
-	guessRes, err := runAllMemo(opts, "families-guess", []core.Params{base})
-	if err != nil {
-		return nil, err
-	}
-	g := guessRes[0]
+	g := batches[0][0].Core
 	gLoads := loadFloats(g.RankedLoads())
 	t.AddRow("GUESS", fmt.Sprintf("N=%d cache=%d", n, base.CacheSize),
 		1-g.UnsatisfactionWithAborted(), g.ProbesPerQuery(),
 		stats.Gini(gLoads), stats.TopShare(gLoads, 0.01))
 
 	// Gnutella flooding over a static overlay sharing the content model.
-	ttl := 4
-	degree := 8
-	u, err := content.New(base.Content)
-	if err != nil {
-		return nil, err
-	}
-	rng := simrng.New(opts.seed()).Stream("families-flood")
-	topo, err := gnutella.NewRandom(rng, n, degree)
-	if err != nil {
-		return nil, err
-	}
-	pop, err := gnutella.NewPopulation(u, n, rng)
-	if err != nil {
-		return nil, err
-	}
-	floodLoads := make([]int64, n)
-	floodSat := 0
-	var floodMsgs int64
-	for q := 0; q < queries; q++ {
-		res, fs, err := gnutella.FloodSearch(topo, pop, rng, rng.Intn(n), ttl, 1)
-		if err != nil {
-			return nil, err
-		}
-		if res.Satisfied {
-			floodSat++
-		}
-		floodMsgs += int64(fs.Messages)
-		for _, v := range fs.Reached {
-			floodLoads[v]++
-		}
-	}
-	fLoads := loadFloats(floodLoads)
-	t.AddRow("Flood", fmt.Sprintf("ttl=%d degree=%d", ttl, degree),
-		float64(floodSat)/float64(queries), float64(floodMsgs)/float64(queries),
+	fp := floodFamilyParams(opts, n, queries)
+	fr := batches[1][0].Flood
+	fLoads := loadFloats(fr.PeerLoads)
+	t.AddRow("Flood", fmt.Sprintf("ttl=%d degree=%d", fp.TTL, fp.AvgDegree),
+		fr.Satisfaction(), fr.MessagesPerQuery(),
 		stats.Gini(fLoads), stats.TopShare(fLoads, 0.01))
 
 	// Gossip rumor spreading with hit-count and round-budget stopping.
 	gp := gossipFamilyParams(opts, n, queries)
-	gossipRes, err := runGossipMemo(opts, "families", []gossip.Params{gp})
-	if err != nil {
-		return nil, err
-	}
-	gr := gossipRes[0]
+	gr := batches[2][0].Gossip
 	grLoads := loadFloats(gr.PeerLoads)
 	t.AddRow("Gossip", fmt.Sprintf("mode=%s fanout=%d rounds<=%d", gp.Mode, gp.Fanout, gp.MaxRounds),
 		gr.Satisfaction(), gr.MessagesPerQuery(),
@@ -198,11 +143,7 @@ func runFamilies(opts Options) (*Result, error) {
 
 	// DHT ring lookup with randomized replication and caching.
 	dp := dhtFamilyParams(opts, n, queries)
-	dhtRes, err := runDHTMemo(opts, "families", []dht.Params{dp})
-	if err != nil {
-		return nil, err
-	}
-	dr := dhtRes[0]
+	dr := batches[3][0].DHT
 	drLoads := loadFloats(dr.PeerLoads)
 	t.AddRow("DHT", fmt.Sprintf("replicas=%d cache=%d hops<=%d", dp.BaseReplicas, dp.CacheSize, dp.MaxHops),
 		dr.Satisfaction(), dr.MessagesPerLookup(),

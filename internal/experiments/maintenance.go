@@ -8,12 +8,21 @@ import (
 )
 
 func init() {
-	register("table3", "Table 3: live link-cache entries vs cache size", runTable3)
-	register("fig3", "Figure 3: probes per query vs cache size", runFig3)
-	register("fig4", "Figure 4: unsatisfaction vs cache size", runFig4)
-	register("fig5", "Figure 5: dead vs good probes vs cache size", runFig5)
-	register("fig6", "Figure 6: overlay connectivity vs ping interval (by cache size)", runFig6)
-	register("fig7", "Figure 7: overlay connectivity vs ping interval (by network size)", runFig7)
+	register("table3", "Table 3: live link-cache entries vs cache size",
+		table3Specs, table3Render)
+	register("fig3", "Figure 3: probes per query vs cache size",
+		func(opts Options) []Spec { return cacheSweepSpecs(opts, networkSizesFor(opts.Scale)) },
+		fig3Render)
+	register("fig4", "Figure 4: unsatisfaction vs cache size",
+		func(opts Options) []Spec { return cacheSweepSpecs(opts, networkSizesFor(opts.Scale)) },
+		fig4Render)
+	register("fig5", "Figure 5: dead vs good probes vs cache size",
+		func(opts Options) []Spec { return cacheSweepSpecs(opts, fig5Nets(opts)) },
+		fig5Render)
+	register("fig6", "Figure 6: overlay connectivity vs ping interval (by cache size)",
+		fig6Specs, fig6Render)
+	register("fig7", "Figure 7: overlay connectivity vs ping interval (by network size)",
+		fig7Specs, fig7Render)
 }
 
 // strainParams is the Section 6.1 configuration: extra churn via
@@ -24,8 +33,10 @@ func strainParams(opts Options) core.Params {
 	return p
 }
 
-func runTable3(opts Options) (*Result, error) {
-	cacheSizes := []int{10, 20, 50, 100, 200, 500}
+func table3CacheSizes() []int { return []int{10, 20, 50, 100, 200, 500} }
+
+func table3Specs(opts Options) []Spec {
+	cacheSizes := table3CacheSizes()
 	base := strainParams(opts)
 	params := make([]core.Params, len(cacheSizes))
 	for i, c := range cacheSizes {
@@ -33,10 +44,12 @@ func runTable3(opts Options) (*Result, error) {
 		p.CacheSize = c
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func table3Render(_ Options, batches [][]PointResult) (*Result, error) {
+	cacheSizes := table3CacheSizes()
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Table 3: breakdown of live cache entries",
 		"CacheSize", "FractionLive", "AbsoluteLive")
 	for i, c := range cacheSizes {
@@ -45,13 +58,18 @@ func runTable3(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-// cacheSweep runs the Figures 3-5 sweep: cache size x network size
-// under churn strain.
-func cacheSweep(opts Options, networkSizes []int) (map[int][]int, map[int][]*core.Results, error) {
+// cachePoint locates one cacheSweep point: network size plus index into
+// that network's cache-size list.
+type cachePoint struct{ n, idx int }
+
+// cacheSweepPlan lays out the Figures 3-5 sweep (cache size x network
+// size under churn strain) in its canonical flat order. Both the spec
+// builder and the renderers derive the same layout from the options, so
+// the flat result batch scatters back unambiguously.
+func cacheSweepPlan(opts Options, networkSizes []int) (map[int][]int, []core.Params, []cachePoint) {
 	var params []core.Params
-	type key struct{ n, idx int }
 	sizes := make(map[int][]int, len(networkSizes))
-	var order []key
+	var order []cachePoint
 	for _, n := range networkSizes {
 		cs := cacheSizesFor(n, opts.Scale)
 		sizes[n] = cs
@@ -60,29 +78,41 @@ func cacheSweep(opts Options, networkSizes []int) (map[int][]int, map[int][]*cor
 			p.NetworkSize = n
 			p.CacheSize = cs[i]
 			params = append(params, p)
-			order = append(order, key{n, i})
+			order = append(order, cachePoint{n, i})
 		}
 	}
-	flat, err := runAllMemo(opts, fmt.Sprintf("cacheSweep%v", networkSizes), params)
-	if err != nil {
-		return nil, nil, err
-	}
+	return sizes, params, order
+}
+
+// cacheSweepSpecs builds the shared, memoized Figures 3-5 sweep spec.
+// The label keeps the pre-Spec "cacheSweep<sizes>" form so the figures
+// sharing a network-size list keep sharing one cached execution.
+func cacheSweepSpecs(opts Options, networkSizes []int) []Spec {
+	_, params, _ := cacheSweepPlan(opts, networkSizes)
+	return []Spec{{
+		Family: FamilyGUESS,
+		Label:  fmt.Sprintf("cacheSweep%v", networkSizes),
+		Core:   params,
+	}}
+}
+
+// cacheSweepScatter reassembles a flat cacheSweep batch by network
+// size.
+func cacheSweepScatter(opts Options, networkSizes []int, prs []PointResult) (map[int][]int, map[int][]*core.Results) {
+	sizes, _, order := cacheSweepPlan(opts, networkSizes)
 	byNet := make(map[int][]*core.Results, len(networkSizes))
 	for _, n := range networkSizes {
 		byNet[n] = make([]*core.Results, len(sizes[n]))
 	}
 	for j, k := range order {
-		byNet[k.n][k.idx] = flat[j]
+		byNet[k.n][k.idx] = prs[j].Core
 	}
-	return sizes, byNet, nil
+	return sizes, byNet
 }
 
-func runFig3(opts Options) (*Result, error) {
+func fig3Render(opts Options, batches [][]PointResult) (*Result, error) {
 	nets := networkSizesFor(opts.Scale)
-	sizes, byNet, err := cacheSweep(opts, nets)
-	if err != nil {
-		return nil, err
-	}
+	sizes, byNet := cacheSweepScatter(opts, nets, batches[0])
 	t := report.NewTable("Figure 3: probes per query vs cache size",
 		"NetworkSize", "CacheSize", "ProbesPerQuery")
 	chart := report.NewChart("Figure 3", "CacheSize", "Probes/Query")
@@ -102,12 +132,9 @@ func runFig3(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
 }
 
-func runFig4(opts Options) (*Result, error) {
+func fig4Render(opts Options, batches [][]PointResult) (*Result, error) {
 	nets := networkSizesFor(opts.Scale)
-	sizes, byNet, err := cacheSweep(opts, nets)
-	if err != nil {
-		return nil, err
-	}
+	sizes, byNet := cacheSweepScatter(opts, nets, batches[0])
 	t := report.NewTable("Figure 4: unsatisfaction vs cache size",
 		"NetworkSize", "CacheSize", "Unsatisfaction")
 	chart := report.NewChart("Figure 4", "CacheSize", "Unsatisfied fraction")
@@ -127,15 +154,16 @@ func runFig4(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
 }
 
-func runFig5(opts Options) (*Result, error) {
-	n := 1000
+func fig5Nets(opts Options) []int {
 	if opts.Scale == Quick {
-		n = 400
+		return []int{400}
 	}
-	sizes, byNet, err := cacheSweep(opts, []int{n})
-	if err != nil {
-		return nil, err
-	}
+	return []int{1000}
+}
+
+func fig5Render(opts Options, batches [][]PointResult) (*Result, error) {
+	n := fig5Nets(opts)[0]
+	sizes, byNet := cacheSweepScatter(opts, []int{n}, batches[0])
 	t := report.NewTable(
 		fmt.Sprintf("Figure 5: dead vs good probes per query (NetworkSize=%d)", n),
 		"CacheSize", "GoodProbes", "DeadProbes")
@@ -187,16 +215,21 @@ func connectivityParams(opts Options) core.Params {
 	return p
 }
 
-func runFig6(opts Options) (*Result, error) {
-	cacheSizes := []int{10, 20, 50, 100, 200, 500}
+func fig6Axes(opts Options) (cacheSizes []int, intervals []float64, n int) {
+	cacheSizes = []int{10, 20, 50, 100, 200, 500}
+	n = 1000
 	if opts.Scale == Quick {
 		cacheSizes = []int{10, 50, 200}
-	}
-	intervals := pingIntervals(opts.Scale)
-	n := 1000
-	if opts.Scale == Quick {
 		n = 400
 	}
+	return cacheSizes, pingIntervals(opts.Scale), n
+}
+
+// fig6Specs is deliberately unlabeled: the connectivity sweep is cheap
+// and figure-local, and an unmemoized experiment is what the progress
+// and executor plumbing tests exercise.
+func fig6Specs(opts Options) []Spec {
+	cacheSizes, intervals, n := fig6Axes(opts)
 	var params []core.Params
 	for _, c := range cacheSizes {
 		for _, pi := range intervals {
@@ -207,10 +240,12 @@ func runFig6(opts Options) (*Result, error) {
 			params = append(params, p)
 		}
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func fig6Render(opts Options, batches [][]PointResult) (*Result, error) {
+	cacheSizes, intervals, n := fig6Axes(opts)
+	results := coreResultsOf(batches[0])
 	t := report.NewTable(
 		fmt.Sprintf("Figure 6: largest connected component vs ping interval (NetworkSize=%d)", n),
 		"CacheSize", "PingInterval", "LargestWCC")
@@ -232,12 +267,16 @@ func runFig6(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
 }
 
-func runFig7(opts Options) (*Result, error) {
-	nets := []int{200, 500, 1000, 2000}
+func fig7Axes(opts Options) (nets []int, intervals []float64) {
+	nets = []int{200, 500, 1000, 2000}
 	if opts.Scale == Quick {
 		nets = []int{200, 400}
 	}
-	intervals := pingIntervals(opts.Scale)
+	return nets, pingIntervals(opts.Scale)
+}
+
+func fig7Specs(opts Options) []Spec {
+	nets, intervals := fig7Axes(opts)
 	var params []core.Params
 	for _, n := range nets {
 		for _, pi := range intervals {
@@ -248,10 +287,12 @@ func runFig7(opts Options) (*Result, error) {
 			params = append(params, p)
 		}
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func fig7Render(opts Options, batches [][]PointResult) (*Result, error) {
+	nets, intervals := fig7Axes(opts)
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Figure 7: relative largest connected component vs ping interval (CacheSize=20)",
 		"NetworkSize", "PingInterval", "RelativeLargestWCC")
 	chart := report.NewChart("Figure 7", "PingInterval (s)", "Relative largest component")

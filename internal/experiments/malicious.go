@@ -10,17 +10,17 @@ import (
 
 func init() {
 	register("fig16", "Figure 16: probes per query vs malicious fraction (Dead pongs)",
-		poisonRunner(core.BadPongDead, poisonProbes))
+		poisonSpecs(core.BadPongDead), poisonRender(core.BadPongDead, poisonProbes))
 	register("fig17", "Figure 17: unsatisfaction vs malicious fraction (Dead pongs)",
-		poisonRunner(core.BadPongDead, poisonUnsat))
+		poisonSpecs(core.BadPongDead), poisonRender(core.BadPongDead, poisonUnsat))
 	register("fig18", "Figure 18: good cache entries vs malicious fraction (Dead pongs)",
-		poisonRunner(core.BadPongDead, poisonGoodEntries))
+		poisonSpecs(core.BadPongDead), poisonRender(core.BadPongDead, poisonGoodEntries))
 	register("fig19", "Figure 19: probes per query vs malicious fraction (colluding)",
-		poisonRunner(core.BadPongBad, poisonProbes))
+		poisonSpecs(core.BadPongBad), poisonRender(core.BadPongBad, poisonProbes))
 	register("fig20", "Figure 20: unsatisfaction vs malicious fraction (colluding)",
-		poisonRunner(core.BadPongBad, poisonUnsat))
+		poisonSpecs(core.BadPongBad), poisonRender(core.BadPongBad, poisonUnsat))
 	register("fig21", "Figure 21: good cache entries vs malicious fraction (colluding)",
-		poisonRunner(core.BadPongBad, poisonGoodEntries))
+		poisonSpecs(core.BadPongBad), poisonRender(core.BadPongBad, poisonGoodEntries))
 }
 
 // poisonPolicies are the Section 6.4 contenders. Each selection policy
@@ -55,10 +55,11 @@ func poisonFractions(scale Scale) []float64 {
 	return []float64{0, 10, 20}
 }
 
-// poisonRunner builds the Figures 16-21 sweeps: policy x malicious
-// fraction for one BadPongBehavior, reporting one metric.
-func poisonRunner(behavior core.BadPongBehavior, metric poisonMetric) Runner {
-	return func(opts Options) (*Result, error) {
+// poisonSpecs builds the Figures 16-21 sweep for one BadPongBehavior:
+// policy x malicious fraction, memoized per behavior so the three
+// figures projecting each behavior share one execution.
+func poisonSpecs(behavior core.BadPongBehavior) specsFunc {
+	return func(opts Options) []Spec {
 		fractions := poisonFractions(opts.Scale)
 		var params []core.Params
 		for _, sel := range poisonPolicies {
@@ -72,10 +73,19 @@ func poisonRunner(behavior core.BadPongBehavior, metric poisonMetric) Runner {
 				params = append(params, p)
 			}
 		}
-		results, err := runAllMemo(opts, fmt.Sprintf("poison|%s", behavior), params)
-		if err != nil {
-			return nil, err
-		}
+		return []Spec{{
+			Family: FamilyGUESS,
+			Label:  fmt.Sprintf("poison|%s", behavior),
+			Core:   params,
+		}}
+	}
+}
+
+// poisonRender projects one behavior's sweep into one metric's figure.
+func poisonRender(behavior core.BadPongBehavior, metric poisonMetric) renderFunc {
+	return func(opts Options, batches [][]PointResult) (*Result, error) {
+		fractions := poisonFractions(opts.Scale)
+		results := coreResultsOf(batches[0])
 		t := report.NewTable(
 			fmt.Sprintf("%s vs PercentBadPeers (BadPongBehavior=%s)", metric.column, behavior),
 			"Policy", "PercentBadPeers", metric.column)

@@ -26,7 +26,7 @@ func TestParallelProgressRace(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = runFlat(Options{Parallelism: 2, Progress: &progress}, params)
+			_, errs[i] = RunSpec(Options{Parallelism: 2, Progress: &progress}, tinySpec(params))
 		}(i)
 	}
 	wg.Wait()
@@ -40,23 +40,23 @@ func TestParallelProgressRace(t *testing.T) {
 	}
 }
 
-// TestRunFlatContextCancel pins the sweep-level cancellation contract:
+// TestRunSpecContextCancel pins the sweep-level cancellation contract:
 // a cancelled context stops the sweep and surfaces ctx.Err() (a partial
 // sweep is not meaningful, unlike a partial single run).
-func TestRunFlatContextCancel(t *testing.T) {
+func TestRunSpecContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	params := []core.Params{tinyParams(1), tinyParams(2), tinyParams(3)}
-	_, err := runFlat(Options{Context: ctx, Parallelism: 2}, params)
+	_, err := RunSpec(Options{Context: ctx, Parallelism: 2}, tinySpec(params))
 	if err != context.Canceled {
 		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
 	}
 }
 
-// TestRunFlatForwardsObserverAndMetrics checks that sweep options reach
+// TestRunSpecForwardsObserverAndMetrics checks that sweep options reach
 // the engines: the observer sees events from every run and the metrics
 // counters aggregate across runs.
-func TestRunFlatForwardsObserverAndMetrics(t *testing.T) {
+func TestRunSpecForwardsObserverAndMetrics(t *testing.T) {
 	params := []core.Params{tinyParams(1), tinyParams(2)}
 	reg := obs.NewRegistry()
 	var mu sync.Mutex
@@ -72,13 +72,13 @@ func TestRunFlatForwardsObserverAndMetrics(t *testing.T) {
 			}
 		}),
 	}
-	results, err := runFlat(opts, params)
+	results, err := RunSpec(opts, tinySpec(params))
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantBirths := 0
 	for _, r := range results {
-		wantBirths += r.Births
+		wantBirths += r.Core.Births
 	}
 	if births != wantBirths {
 		t.Fatalf("observer saw %d births, results say %d", births, wantBirths)

@@ -12,23 +12,45 @@ import (
 )
 
 func init() {
-	register("fig8", "Figure 8: query cost vs unsatisfaction for fixed, coarse and fine flexible extent", runFig8)
-	register("fig9", "Figure 9: probes per query by QueryProbe policy", runFig9)
-	register("fig10", "Figure 10: probes per query by QueryPong policy", runFig10)
-	register("fig11", "Figure 11: probes per query by CacheReplacement policy", runFig11)
-	register("fig12", "Figure 12: unsatisfied queries by QueryPong policy", runFig12)
-	register("fig13", "Figure 13: ranked load distribution by policy combination", runFig13)
+	register("fig8", "Figure 8: query cost vs unsatisfaction for fixed, coarse and fine flexible extent",
+		fig8Specs, fig8Render)
+	register("fig9", "Figure 9: probes per query by QueryProbe policy",
+		func(opts Options) []Spec { return selectionSweepSpecs(opts, "QueryProbe", setQueryProbe) },
+		fig9Render)
+	register("fig10", "Figure 10: probes per query by QueryPong policy",
+		func(opts Options) []Spec { return selectionSweepSpecs(opts, "QueryPong", setQueryPong) },
+		fig10Render)
+	register("fig11", "Figure 11: probes per query by CacheReplacement policy",
+		fig11Specs, fig11Render)
+	register("fig12", "Figure 12: unsatisfied queries by QueryPong policy",
+		func(opts Options) []Spec { return selectionSweepSpecs(opts, "QueryPong", setQueryPong) },
+		fig12Render)
+	register("fig13", "Figure 13: ranked load distribution by policy combination",
+		fig13Specs, fig13Render)
 }
 
-func runFig8(opts Options) (*Result, error) {
-	n := 1000
-	queries := 3000
+func fig8Shape(opts Options) (n, queries int) {
+	n, queries = 1000, 3000
 	if opts.Scale == Quick {
-		n = 400
-		queries = 1000
+		n, queries = 400, 1000
 	}
+	return n, queries
+}
+
+func fig8Specs(opts Options) []Spec {
+	base := opts.baseParams()
+	base.NetworkSize, _ = fig8Shape(opts)
+	mfs := base
+	mfs.QueryPong = policy.SelMFS
+	return []Spec{{Family: FamilyGUESS, Core: []core.Params{base, mfs}}}
+}
+
+func fig8Render(opts Options, batches [][]PointResult) (*Result, error) {
+	n, queries := fig8Shape(opts)
 	// Forwarding baselines over a live-peer snapshot sharing the GUESS
-	// content model.
+	// content model. These are closed-form query replays, not engine
+	// runs, so they stay local to the renderer rather than becoming
+	// sweep points.
 	u, err := content.New(opts.baseParams().Content)
 	if err != nil {
 		return nil, err
@@ -61,11 +83,11 @@ func runFig8(opts Options) (*Result, error) {
 		fy = append(fy, rate)
 	}
 
-	batches := gnutella.DefaultDeepeningBatches(n)
+	batchesID := gnutella.DefaultDeepeningBatches(n)
 	idCost, idUnsat := 0, 0
 	for q := 0; q < queries; q++ {
 		item := u.DrawQuery(rng)
-		res := pop.IterativeDeepening(rng, item, batches, 1)
+		res := pop.IterativeDeepening(rng, item, batchesID, 1)
 		idCost += res.Probes
 		if !res.Satisfied {
 			idUnsat++
@@ -73,17 +95,10 @@ func runFig8(opts Options) (*Result, error) {
 	}
 	idAvgCost := float64(idCost) / float64(queries)
 	idRate := float64(idUnsat) / float64(queries)
-	t.AddRow("IterativeDeepening", fmt.Sprintf("batches=%v", batches), idAvgCost, idRate)
+	t.AddRow("IterativeDeepening", fmt.Sprintf("batches=%v", batchesID), idAvgCost, idRate)
 
 	// GUESS points: Random baseline and QueryPong=MFS.
-	base := opts.baseParams()
-	base.NetworkSize = n
-	mfs := base
-	mfs.QueryPong = policy.SelMFS
-	results, err := runAll(opts, []core.Params{base, mfs})
-	if err != nil {
-		return nil, err
-	}
+	results := coreResultsOf(batches[0])
 	gr, gm := results[0], results[1]
 	t.AddRow("GUESS", "Random baseline", gr.ProbesPerQuery(), gr.UnsatisfactionWithAborted())
 	t.AddRow("GUESS", "QueryPong=MFS", gm.ProbesPerQuery(), gm.UnsatisfactionWithAborted())
@@ -105,25 +120,27 @@ func runFig8(opts Options) (*Result, error) {
 	return &Result{Tables: []*report.Table{t}, Charts: []*report.Chart{chart}}, nil
 }
 
-// selectionSweep runs one simulation per selection policy with the
-// given field set, everything else at defaults. Sweeps are memoized
-// under the swept field's name: Figures 10 and 12 are two projections
-// of the identical QueryPong sweep, so the second figure is free.
-func selectionSweep(opts Options, field string, set func(*core.Params, policy.Selection)) ([]policy.Selection, []*core.Results, error) {
-	policies := []policy.Selection{
-		policy.SelRandom, policy.SelMRU, policy.SelLRU, policy.SelMFS, policy.SelMR,
-	}
-	params := make([]core.Params, len(policies))
-	for i, sel := range policies {
+// selectionPolicies are the Section 6.2 contenders.
+var selectionPolicies = []policy.Selection{
+	policy.SelRandom, policy.SelMRU, policy.SelLRU, policy.SelMFS, policy.SelMR,
+}
+
+func setQueryProbe(p *core.Params, s policy.Selection) { p.QueryProbe = s }
+func setQueryPong(p *core.Params, s policy.Selection)  { p.QueryPong = s }
+
+// selectionSweepSpecs builds one simulation per selection policy with
+// the given field set, everything else at defaults. The sweep is
+// memoized under the swept field's name: Figures 10 and 12 are two
+// projections of the identical QueryPong sweep, so the second figure
+// is free.
+func selectionSweepSpecs(opts Options, field string, set func(*core.Params, policy.Selection)) []Spec {
+	params := make([]core.Params, len(selectionPolicies))
+	for i, sel := range selectionPolicies {
 		p := opts.baseParams()
 		set(&p, sel)
 		params[i] = p
 	}
-	results, err := runAllMemo(opts, "selectionSweep:"+field, params)
-	if err != nil {
-		return nil, nil, err
-	}
-	return policies, results, nil
+	return []Spec{{Family: FamilyGUESS, Label: "selectionSweep:" + field, Core: params}}
 }
 
 func probesByPolicyTable(title string, policies []policy.Selection, results []*core.Results) *report.Table {
@@ -135,103 +152,94 @@ func probesByPolicyTable(title string, policies []policy.Selection, results []*c
 	return t
 }
 
-func runFig9(opts Options) (*Result, error) {
-	policies, results, err := selectionSweep(opts, "QueryProbe", func(p *core.Params, s policy.Selection) {
-		p.QueryProbe = s
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := probesByPolicyTable("Figure 9: probes per query by QueryProbe policy", policies, results)
+func fig9Render(_ Options, batches [][]PointResult) (*Result, error) {
+	t := probesByPolicyTable("Figure 9: probes per query by QueryProbe policy",
+		selectionPolicies, coreResultsOf(batches[0]))
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runFig10(opts Options) (*Result, error) {
-	policies, results, err := selectionSweep(opts, "QueryPong", func(p *core.Params, s policy.Selection) {
-		p.QueryPong = s
-	})
-	if err != nil {
-		return nil, err
-	}
-	t := probesByPolicyTable("Figure 10: probes per query by QueryPong policy", policies, results)
+func fig10Render(_ Options, batches [][]PointResult) (*Result, error) {
+	t := probesByPolicyTable("Figure 10: probes per query by QueryPong policy",
+		selectionPolicies, coreResultsOf(batches[0]))
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runFig11(opts Options) (*Result, error) {
-	evictions := []policy.Eviction{
-		policy.EvRandom, policy.EvLRU, policy.EvMRU, policy.EvLFS, policy.EvLR,
-	}
-	params := make([]core.Params, len(evictions))
-	for i, ev := range evictions {
+// evictionPolicies are the Figure 11 contenders.
+var evictionPolicies = []policy.Eviction{
+	policy.EvRandom, policy.EvLRU, policy.EvMRU, policy.EvLFS, policy.EvLR,
+}
+
+func fig11Specs(opts Options) []Spec {
+	params := make([]core.Params, len(evictionPolicies))
+	for i, ev := range evictionPolicies {
 		p := opts.baseParams()
 		p.CacheReplacement = ev
 		params[i] = p
 	}
-	results, err := runAllMemo(opts, "evictionSweep:CacheReplacement", params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Label: "evictionSweep:CacheReplacement", Core: params}}
+}
+
+func fig11Render(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Figure 11: probes per query by CacheReplacement policy",
 		"Policy", "GoodProbes", "DeadProbes", "TotalProbes")
-	for i, ev := range evictions {
+	for i, ev := range evictionPolicies {
 		r := results[i]
 		t.AddRow(ev.String(), r.GoodProbesPerQuery(), r.DeadProbesPerQuery(), r.ProbesPerQuery())
 	}
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runFig12(opts Options) (*Result, error) {
-	policies, results, err := selectionSweep(opts, "QueryPong", func(p *core.Params, s policy.Selection) {
-		p.QueryPong = s
-	})
-	if err != nil {
-		return nil, err
-	}
+func fig12Render(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	t := report.NewTable("Figure 12: unsatisfied queries by QueryPong policy",
 		"Policy", "Unsatisfaction")
-	for i, sel := range policies {
+	for i, sel := range selectionPolicies {
 		t.AddRow(sel.String(), results[i].UnsatisfactionWithAborted())
 	}
 	return &Result{Tables: []*report.Table{t}}, nil
 }
 
-func runFig13(opts Options) (*Result, error) {
-	combos := []struct {
-		name  string
-		probe policy.Selection
-		repl  policy.Eviction
-	}{
-		{"Random/Random", policy.SelRandom, policy.EvRandom},
-		{"MFS/LFS", policy.SelMFS, policy.EvLFS},
-		{"MR/LR", policy.SelMR, policy.EvLR},
-		{"MRU/LRU", policy.SelMRU, policy.EvLRU},
-	}
-	params := make([]core.Params, len(combos))
-	for i, c := range combos {
+// fig13Combos are the Figure 13 policy combinations.
+var fig13Combos = []struct {
+	name  string
+	probe policy.Selection
+	repl  policy.Eviction
+}{
+	{"Random/Random", policy.SelRandom, policy.EvRandom},
+	{"MFS/LFS", policy.SelMFS, policy.EvLFS},
+	{"MR/LR", policy.SelMR, policy.EvLR},
+	{"MRU/LRU", policy.SelMRU, policy.EvLRU},
+}
+
+func fig13Specs(opts Options) []Spec {
+	params := make([]core.Params, len(fig13Combos))
+	for i, c := range fig13Combos {
 		p := opts.baseParams()
 		p.QueryProbe = c.probe
 		p.CacheReplacement = c.repl
 		params[i] = p
 	}
-	results, err := runAll(opts, params)
-	if err != nil {
-		return nil, err
-	}
+	return []Spec{{Family: FamilyGUESS, Core: params}}
+}
+
+func fig13Render(_ Options, batches [][]PointResult) (*Result, error) {
+	results := coreResultsOf(batches[0])
 	ranks := []int{1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 	cols := []string{"Rank"}
-	for _, c := range combos {
+	for _, c := range fig13Combos {
 		cols = append(cols, c.name)
 	}
 	t := report.NewTable("Figure 13: probes received by peer rank", cols...)
-	ranked := make([][]int64, len(combos))
-	for i := range combos {
+	ranked := make([][]int64, len(fig13Combos))
+	for i := range fig13Combos {
 		ranked[i] = results[i].RankedLoads()
 	}
 	for _, rank := range ranks {
 		row := make([]any, 0, len(cols))
 		row = append(row, rank)
 		filled := false
-		for i := range combos {
+		for i := range fig13Combos {
 			if rank <= len(ranked[i]) {
 				row = append(row, ranked[i][rank-1])
 				filled = true
@@ -247,7 +255,7 @@ func runFig13(opts Options) (*Result, error) {
 	// Also report total load, showing the fairness/efficiency trade-off.
 	totals := make([]any, 0, len(cols))
 	totals = append(totals, "total")
-	for i := range combos {
+	for i := range fig13Combos {
 		totals = append(totals, results[i].TotalLoad())
 	}
 	t.AddRow(totals...)

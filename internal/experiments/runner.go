@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/gnutella"
+	"repro/internal/gossip"
+	"repro/internal/obs"
+	"repro/internal/simrng"
+)
+
+// Observation carries the per-run observability attachments a Runner
+// threads into its engine. Either field may be nil. Metrics applies to
+// GUESS runs only (the other families expose their own metric sets,
+// which sweeps do not currently attach).
+type Observation struct {
+	Observer obs.Observer
+	Metrics  *obs.SimMetrics
+}
+
+// Runner executes single sweep points for one protocol family. All
+// four families implement it, which is what lets a distributed worker
+// execute any Point it is handed: the point's family discriminator
+// selects the Runner, and the parameters are complete — no closure or
+// figure ID resolves behind the call.
+//
+// A Runner must be deterministic (equal points give identical results)
+// and must honor ctx: cancellation mid-run returns ctx.Err() rather
+// than a partial result, so partial runs can never enter a cache.
+type Runner interface {
+	// FamilyID names the family the runner executes.
+	FamilyID() Family
+	// RunPoint executes one sweep point.
+	RunPoint(ctx context.Context, pt Point, o Observation) (PointResult, error)
+}
+
+// RunnerFor returns the Runner for a protocol family.
+func RunnerFor(f Family) (Runner, error) {
+	switch f {
+	case FamilyGUESS:
+		return guessRunner{}, nil
+	case FamilyFlood:
+		return floodRunner{}, nil
+	case FamilyGossip:
+		return gossipRunner{}, nil
+	case FamilyDHT:
+		return dhtRunner{}, nil
+	}
+	return nil, fmt.Errorf("experiments: no runner for family %q", f)
+}
+
+// RunPoint validates and executes one sweep point with the family's
+// Runner. This is the distributed worker's entry: everything the run
+// needs is inside pt.
+func RunPoint(ctx context.Context, pt Point, o Observation) (PointResult, error) {
+	if err := pt.Validate(); err != nil {
+		return PointResult{}, err
+	}
+	r, err := RunnerFor(pt.Family)
+	if err != nil {
+		return PointResult{}, err
+	}
+	return r.RunPoint(ctx, pt, o)
+}
+
+// guessRunner executes GUESS points on a fresh core engine per point.
+// (The in-process sweep pool instead chains engines through Renew to
+// recycle arenas; TestRenewMatchesFresh proves the two are
+// byte-identical, which is what makes local and distributed sweeps
+// interchangeable.)
+type guessRunner struct{}
+
+func (guessRunner) FamilyID() Family { return FamilyGUESS }
+
+func (guessRunner) RunPoint(ctx context.Context, pt Point, o Observation) (PointResult, error) {
+	engine, err := core.New(*pt.Core)
+	if err != nil {
+		return PointResult{}, err
+	}
+	engine.SetObserver(o.Observer)
+	engine.SetMetrics(o.Metrics)
+	res, err := engine.Run(ctx)
+	if err != nil {
+		return PointResult{}, err
+	}
+	if res.Interrupted {
+		return PointResult{}, ctx.Err()
+	}
+	return PointResult{Family: FamilyGUESS, Core: res}, nil
+}
+
+// floodStream is the RNG stream label flood runs draw from. It keeps
+// the "families-flood" name the pre-Spec inline implementation used so
+// the cmp-families table is bit-for-bit unchanged by the migration.
+const floodStream = "families-flood"
+
+// floodRunner executes flooding points: build the static overlay and
+// population, then run the query batch, all from one seeded stream.
+type floodRunner struct{}
+
+func (floodRunner) FamilyID() Family { return FamilyFlood }
+
+func (floodRunner) RunPoint(ctx context.Context, pt Point, _ Observation) (PointResult, error) {
+	p := *pt.Flood
+	if err := p.Validate(); err != nil {
+		return PointResult{}, err
+	}
+	u, err := content.New(p.Content)
+	if err != nil {
+		return PointResult{}, err
+	}
+	rng := simrng.New(p.Seed).Stream(floodStream)
+	topo, err := gnutella.NewRandom(rng, p.NetworkSize, p.AvgDegree)
+	if err != nil {
+		return PointResult{}, err
+	}
+	pop, err := gnutella.NewPopulation(u, p.NetworkSize, rng)
+	if err != nil {
+		return PointResult{}, err
+	}
+	out := &FloodResults{PeerLoads: make([]int64, p.NetworkSize)}
+	for q := 0; q < p.NumQueries; q++ {
+		if ctx != nil && ctx.Err() != nil {
+			return PointResult{}, ctx.Err()
+		}
+		res, fs, err := gnutella.FloodSearch(topo, pop, rng, rng.Intn(p.NetworkSize), p.TTL, p.NumDesiredResults)
+		if err != nil {
+			return PointResult{}, err
+		}
+		out.Queries++
+		if res.Satisfied {
+			out.Satisfied++
+		} else {
+			out.Unsatisfied++
+		}
+		out.Messages += int64(fs.Messages)
+		for _, v := range fs.Reached {
+			out.PeerLoads[v]++
+		}
+	}
+	return PointResult{Family: FamilyFlood, Flood: out}, nil
+}
+
+// gossipRunner executes gossip points.
+type gossipRunner struct{}
+
+func (gossipRunner) FamilyID() Family { return FamilyGossip }
+
+func (gossipRunner) RunPoint(ctx context.Context, pt Point, o Observation) (PointResult, error) {
+	e, err := gossip.New(*pt.Gossip)
+	if err != nil {
+		return PointResult{}, err
+	}
+	e.SetObserver(o.Observer)
+	res, err := e.Run(ctx)
+	if err != nil {
+		return PointResult{}, err
+	}
+	if res.Interrupted {
+		return PointResult{}, ctx.Err()
+	}
+	return PointResult{Family: FamilyGossip, Gossip: res}, nil
+}
+
+// dhtRunner executes DHT points.
+type dhtRunner struct{}
+
+func (dhtRunner) FamilyID() Family { return FamilyDHT }
+
+func (dhtRunner) RunPoint(ctx context.Context, pt Point, o Observation) (PointResult, error) {
+	e, err := dht.New(*pt.DHT)
+	if err != nil {
+		return PointResult{}, err
+	}
+	e.SetObserver(o.Observer)
+	res, err := e.Run(ctx)
+	if err != nil {
+		return PointResult{}, err
+	}
+	if res.Interrupted {
+		return PointResult{}, ctx.Err()
+	}
+	return PointResult{Family: FamilyDHT, DHT: res}, nil
+}

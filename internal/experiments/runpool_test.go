@@ -21,20 +21,26 @@ func tinyParams(seed uint64) core.Params {
 	return p
 }
 
-// TestRunFlatPreservesOrderAndSeeding checks that the worker pool
+// tinySpec wraps parameter sets in an unlabeled (never-memoized) GUESS
+// sweep spec.
+func tinySpec(params []core.Params) Spec {
+	return Spec{Family: FamilyGUESS, Core: params}
+}
+
+// TestRunSpecPreservesOrderAndSeeding checks that the worker pool
 // returns results in input order with per-index seed derivation:
 // results must match a serial (Parallelism=1) run point for point.
-func TestRunFlatPreservesOrderAndSeeding(t *testing.T) {
+func TestRunSpecPreservesOrderAndSeeding(t *testing.T) {
 	params := make([]core.Params, 9)
 	for i := range params {
 		params[i] = tinyParams(7)
 		params[i].CacheSize = 5 + i // distinguish points
 	}
-	serial, err := runFlat(Options{Parallelism: 1}, params)
+	serial, err := RunSpec(Options{Parallelism: 1}, tinySpec(params))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pooled, err := runFlat(Options{Parallelism: 4}, params)
+	pooled, err := RunSpec(Options{Parallelism: 4}, tinySpec(params))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +62,10 @@ func TestRunFlatPreservesOrderAndSeeding(t *testing.T) {
 	}
 }
 
-// TestRunFlatBoundsGoroutines verifies the pool spawns at most
-// min(parallelism, len(params)) workers rather than one goroutine per
+// TestRunSpecBoundsGoroutines verifies the pool spawns at most
+// min(parallelism, len(points)) workers rather than one goroutine per
 // parameter set.
-func TestRunFlatBoundsGoroutines(t *testing.T) {
+func TestRunSpecBoundsGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 	var peak atomic.Int64
 	params := make([]core.Params, 24)
@@ -69,7 +75,7 @@ func TestRunFlatBoundsGoroutines(t *testing.T) {
 	// Sample concurrent goroutine count from inside the runs via the
 	// progress writer, which every completed run touches.
 	opts := Options{Parallelism: 2, Progress: goroutineSampler{&peak}}
-	if _, err := runFlat(opts, params); err != nil {
+	if _, err := RunSpec(opts, tinySpec(params)); err != nil {
 		t.Fatal(err)
 	}
 	// Allow slack for test-harness goroutines; the point is that 24

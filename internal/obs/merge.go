@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Merge folds a Snapshot taken from another registry into r: counter
+// values add, gauge values overwrite (a gauge is "latest state", so the
+// merged-in snapshot wins, exactly as a later Set would), and
+// histograms add bucket-by-bucket with their sums. Instruments absent
+// from r are created from the snapshot (with empty help text);
+// histogram bucket bounds are taken from the snapshot's bucket list and
+// must match any existing registration.
+//
+// Integer-valued state (counters, histogram bucket counts) merges
+// exactly, so folding per-run snapshots in run order reproduces a
+// shared-registry serial run bit for bit. Histogram sums are float
+// additions and associate differently than per-observation
+// accumulation, so a merged sum can differ from a shared-registry run
+// in the last ulp; merging the same snapshots in the same order is
+// byte-stable.
+//
+// Merge is how a sweep coordinator aggregates the metric snapshots its
+// workers stream back with each result.
+func (r *Registry) Merge(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	// Deterministic fold order: sorted names per kind, counters then
+	// gauges then histograms. Counter and gauge merges commute anyway;
+	// sorting keeps histogram sum folds (which do not) byte-stable.
+	for _, name := range sortedKeys(s.Counters) {
+		ins, err := r.mergeTarget(name, kindCounter)
+		if err != nil {
+			return err
+		}
+		ins.c.Add(s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		ins, err := r.mergeTarget(name, kindGauge)
+		if err != nil {
+			return err
+		}
+		ins.g.Set(s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		ins, err := r.mergeTarget(name, kindHistogram)
+		if err != nil {
+			return err
+		}
+		if err := mergeHistogram(name, ins, hs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mergeTarget resolves (or creates) the named instrument for a merge.
+// Unlike the public constructors it does not validate the name against
+// the local naming convention — the snapshot's names were validated by
+// whatever registry produced them.
+func (r *Registry) mergeTarget(name string, k kind) (*instrument, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ins, ok := r.byName[name]; ok {
+		if ins.kind != k {
+			return nil, fmt.Errorf("obs: merge of %s %q into existing %s", k, name, ins.kind)
+		}
+		return ins, nil
+	}
+	ins := &instrument{name: name, kind: k}
+	switch k {
+	case kindCounter:
+		ins.c = &Counter{}
+	case kindGauge:
+		ins.g = &Gauge{}
+	case kindHistogram:
+		ins.h = &Histogram{} // bounds installed by mergeHistogram
+	}
+	r.byName[name] = ins
+	r.ordered = append(r.ordered, ins)
+	return ins, nil
+}
+
+// mergeHistogram folds one histogram snapshot into an instrument,
+// installing bucket bounds on a fresh instrument and checking them on
+// an existing one. Snapshot buckets are cumulative; deltas are added to
+// the matching fixed bucket.
+func mergeHistogram(name string, ins *instrument, hs HistogramSnapshot) error {
+	if len(hs.Buckets) == 0 || !math.IsInf(hs.Buckets[len(hs.Buckets)-1].LE, 1) {
+		return fmt.Errorf("obs: merge of histogram %q without a +Inf bucket", name)
+	}
+	upper := make([]float64, 0, len(hs.Buckets)-1)
+	for _, b := range hs.Buckets[:len(hs.Buckets)-1] {
+		upper = append(upper, b.LE)
+	}
+	h := ins.h
+	if h.counts == nil {
+		h.upper = upper
+		h.counts = make([]atomic.Uint64, len(upper)+1)
+	} else if len(h.upper) != len(upper) {
+		return fmt.Errorf("obs: merge of histogram %q with %d buckets into existing %d", name, len(upper), len(h.upper))
+	} else {
+		for i := range upper {
+			if h.upper[i] != upper[i] {
+				return fmt.Errorf("obs: merge of histogram %q with mismatched bucket %v (existing %v)", name, upper[i], h.upper[i])
+			}
+		}
+	}
+	prev := uint64(0)
+	for i, b := range hs.Buckets {
+		if b.Count < prev {
+			return fmt.Errorf("obs: merge of histogram %q with non-cumulative buckets", name)
+		}
+		delta := b.Count - prev
+		prev = b.Count
+		h.counts[i].Add(delta)
+	}
+	h.sum.Add(hs.Sum)
+	return nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: the bound arrives as a
+// string so "+Inf" survives the trip through JSON. Snapshots cross the
+// sweep wire protocol, so buckets must round-trip.
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == "+Inf" {
+		b.LE = math.Inf(1)
+	} else {
+		le, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket bound %q: %w", raw.LE, err)
+		}
+		b.LE = le
+	}
+	b.Count = raw.Count
+	return nil
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestMergeReproducesSharedRegistry pins the aggregation contract the
+// sweep coordinator depends on: folding per-run snapshots in run order
+// into a fresh registry reproduces a single shared registry fed the
+// same updates, byte for byte in the Prometheus exposition.
+func TestMergeReproducesSharedRegistry(t *testing.T) {
+	buckets := []float64{1, 5, 10}
+	type run struct {
+		counts uint64
+		gauge  float64
+		obs    []float64
+	}
+	runs := []run{
+		{counts: 3, gauge: 1.5, obs: []float64{0.5, 2, 7}},
+		{counts: 5, gauge: 2.25, obs: []float64{12, 1}},
+		{counts: 0, gauge: -4, obs: nil},
+	}
+
+	shared := NewRegistry()
+	sc := shared.Counter("guess_sim_queries_total", "q")
+	sg := shared.Gauge("guess_sim_time_seconds", "t")
+	sh := shared.Histogram("guess_sim_query_probes", "p", buckets)
+
+	merged := NewRegistry()
+	for _, r := range runs {
+		// Each run gets its own registry, as a worker process would.
+		reg := NewRegistry()
+		reg.Counter("guess_sim_queries_total", "q").Add(r.counts)
+		sc.Add(r.counts)
+		reg.Gauge("guess_sim_time_seconds", "t").Set(r.gauge)
+		sg.Set(r.gauge)
+		h := reg.Histogram("guess_sim_query_probes", "p", buckets)
+		for _, v := range r.obs {
+			h.Observe(v)
+			sh.Observe(v)
+		}
+		if err := merged.Merge(reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Help text differs (merge-created instruments have none), so
+	// compare snapshots, which carry only values.
+	a, _ := json.Marshal(shared.Snapshot())
+	b, _ := json.Marshal(merged.Snapshot())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged snapshot differs:\nshared: %s\nmerged: %s", a, b)
+	}
+}
+
+// TestMergeIntoPreRegistered checks merging into a registry that
+// already has the instruments (with help text and buckets) keeps the
+// existing registration and adds values.
+func TestMergeIntoPreRegistered(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("guess_sim_queries_total", "").Add(7)
+	src.Histogram("guess_sim_query_probes", "", []float64{1, 2}).Observe(1.5)
+
+	dst := NewRegistry()
+	c := dst.Counter("guess_sim_queries_total", "queries run")
+	c.Add(2)
+	h := dst.Histogram("guess_sim_query_probes", "probes", []float64{1, 2})
+	h.Observe(0.5)
+
+	if err := dst.Merge(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != 9 {
+		t.Fatalf("counter after merge = %d, want 9", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("histogram count after merge = %d, want 2", got)
+	}
+	if got := h.Sum(); got != 2 {
+		t.Fatalf("histogram sum after merge = %v, want 2", got)
+	}
+	// A second merge keeps adding.
+	if err := dst.Merge(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Value(); got != 16 {
+		t.Fatalf("counter after second merge = %d, want 16", got)
+	}
+}
+
+// TestMergeRejectsMismatches checks kind and bucket conflicts error
+// rather than corrupt state.
+func TestMergeRejectsMismatches(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("guess_sim_queries_total", "").Inc()
+
+	dst := NewRegistry()
+	dst.Gauge("guess_sim_queries_total", "")
+	if err := dst.Merge(src.Snapshot()); err == nil {
+		t.Fatal("merging a counter into a gauge succeeded")
+	}
+
+	hsrc := NewRegistry()
+	hsrc.Histogram("guess_sim_query_probes", "", []float64{1, 2}).Observe(1)
+	hdst := NewRegistry()
+	hdst.Histogram("guess_sim_query_probes", "", []float64{1, 2, 3})
+	if err := hdst.Merge(hsrc.Snapshot()); err == nil {
+		t.Fatal("merging mismatched buckets succeeded")
+	}
+}
+
+// TestSnapshotJSONRoundTrip checks a snapshot survives JSON encoding,
+// including the +Inf bucket bound — snapshots travel over the sweep
+// wire protocol.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("guess_sim_queries_total", "").Add(4)
+	reg.Gauge("guess_sim_time_seconds", "").Set(3.5)
+	h := reg.Histogram("guess_sim_query_probes", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100)
+
+	s := reg.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("snapshot round trip changed:\n%s\n%s", data, again)
+	}
+	// The merged-from-round-trip registry matches the original.
+	merged := NewRegistry()
+	if err := merged.Merge(back); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(reg.Snapshot())
+	b, _ := json.Marshal(merged.Snapshot())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round-tripped merge differs:\n%s\n%s", a, b)
+	}
+}

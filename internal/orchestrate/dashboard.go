@@ -1,0 +1,71 @@
+package orchestrate
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Dashboard renders live sweep progress. It is purely event-driven —
+// the coordinator pushes a Stats snapshot on every state change, and
+// the dashboard redraws only when the rendered line changes. No
+// timers, no goroutines, no clock: what the dashboard shows is a pure
+// function of coordinator state, so tests can assert on its output
+// without racing a refresh loop.
+//
+// In rewrite mode (interactive terminals) the status line redraws in
+// place with a carriage return; otherwise each change appends a line,
+// which is what a CI log wants.
+type Dashboard struct {
+	w       io.Writer
+	rewrite bool
+
+	mu   sync.Mutex
+	last string
+	drew bool
+}
+
+// NewDashboard returns a dashboard writing to w. rewrite selects
+// in-place line redraws (terminal) over append-only lines (logs).
+func NewDashboard(w io.Writer, rewrite bool) *Dashboard {
+	return &Dashboard{w: w, rewrite: rewrite}
+}
+
+// update renders a stats change. Safe on a nil dashboard (no-op), so
+// the coordinator can publish unconditionally.
+func (d *Dashboard) update(s Stats) {
+	if d == nil {
+		return
+	}
+	line := fmt.Sprintf("sweep: units %d/%d done (%d cached, %d deduped) workers %d",
+		s.UnitsDone, s.UnitsTotal, s.CacheHits, s.Deduped, s.Workers)
+	if s.Reassigned > 0 {
+		line += fmt.Sprintf(" reassigned %d", s.Reassigned)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if line == d.last {
+		return
+	}
+	d.last = line
+	d.drew = true
+	if d.rewrite {
+		fmt.Fprintf(d.w, "\r\x1b[2K%s", line)
+		return
+	}
+	fmt.Fprintln(d.w, line)
+}
+
+// Finish terminates the status line after rewrite-mode updates so
+// subsequent output starts on a fresh line.
+func (d *Dashboard) Finish() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rewrite && d.drew {
+		fmt.Fprintln(d.w)
+		d.drew = false
+	}
+}

@@ -1,0 +1,285 @@
+package orchestrate
+
+// The acceptance tests for distributed sweeps: a sweep run across
+// workers over the wire must be byte-identical to the single-process
+// path — results, rendered tables/CSV, and metrics.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/experiments"
+	"repro/internal/gossip"
+	"repro/internal/obs"
+)
+
+// tinySweepSpec is a minimal-cost GUESS sweep with distinct points.
+func tinySweepSpec(n int) experiments.Spec {
+	params := make([]core.Params, n)
+	for i := range params {
+		p := core.DefaultParams()
+		p.NetworkSize = 30
+		p.CacheSize = 5 + i
+		p.WarmupTime = 5
+		p.MeasureTime = 20
+		p.Seed = 7
+		params[i] = p
+	}
+	return experiments.Spec{Family: experiments.FamilyGUESS, Core: params}
+}
+
+// TestDistributedSweepMatchesLocal is the core byte-identity check: a
+// 2-worker sweep over memnet streams returns results identical to the
+// in-process pool, for every protocol family, including replication
+// expansion.
+func TestDistributedSweepMatchesLocal(t *testing.T) {
+	gp := gossip.DefaultParams()
+	gp.NetworkSize = 40
+	gp.NumQueries = 8
+	dp := dht.DefaultParams()
+	dp.NetworkSize = 40
+	dp.NumLookups = 8
+	fp := experiments.DefaultFloodParams()
+	fp.NetworkSize = 40
+	fp.NumQueries = 8
+	specs := []experiments.Spec{
+		tinySweepSpec(4),
+		{Family: experiments.FamilyFlood, Flood: []experiments.FloodParams{fp}},
+		{Family: experiments.FamilyGossip, Gossip: []gossip.Params{gp}},
+		{Family: experiments.FamilyDHT, DHT: []dht.Params{dp}},
+	}
+
+	pool, err := NewLocalPool(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	for _, spec := range specs {
+		opts := experiments.Options{Replications: 2}
+		local, err := experiments.RunSpec(opts, spec)
+		if err != nil {
+			t.Fatalf("%s local: %v", spec.Family, err)
+		}
+		opts.Executor = pool
+		dist, err := experiments.RunSpec(opts, spec)
+		if err != nil {
+			t.Fatalf("%s distributed: %v", spec.Family, err)
+		}
+		a, _ := json.Marshal(local)
+		b, _ := json.Marshal(dist)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: distributed results differ from local:\n%s\n%s", spec.Family, a, b)
+		}
+	}
+}
+
+// TestDistributedExperimentByteIdentity runs a whole experiment —
+// specs, execution, rendering — through a 2-worker pool and compares
+// the rendered tables byte for byte against the single-process run.
+// fig6 is used because it is deliberately unmemoized, so the executor
+// really executes every point.
+func TestDistributedExperimentByteIdentity(t *testing.T) {
+	exp, err := experiments.Lookup("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := exp.Run(experiments.Options{Scale: experiments.Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := NewLocalPool(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dist, err := exp.Run(experiments.Options{Scale: experiments.Quick, Executor: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want, got bytes.Buffer
+	if _, err := local.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("rendered output differs between local and 2-worker runs:\n--- local ---\n%s\n--- distributed ---\n%s", want.Bytes(), got.Bytes())
+	}
+	if s := pool.Stats(); s.Executed == 0 {
+		t.Fatal("executor was never used — memoization swallowed the sweep")
+	}
+}
+
+// TestDistributedMetricsMatchSerial checks metric aggregation: the
+// coordinator's merged registry reproduces a serial single-process
+// run's registry — exactly for every integer-valued series (counters,
+// histogram bucket counts and counts) and gauges, and to within float
+// summation reassociation for histogram sums. Byte-stability across
+// worker counts is exact: 1-worker and 4-worker runs must render
+// identical Prometheus text.
+func TestDistributedMetricsMatchSerial(t *testing.T) {
+	spec := tinySweepSpec(5)
+
+	// Serial single-process reference: one shared registry.
+	serialReg := obs.NewRegistry()
+	if _, err := experiments.RunSpec(experiments.Options{Parallelism: 1, Metrics: obs.NewSimMetrics(serialReg)}, spec); err != nil {
+		t.Fatal(err)
+	}
+	serial := serialReg.Snapshot()
+
+	distSnap := func(workers int) (snap obs.Snapshot, prom string) {
+		reg := obs.NewRegistry()
+		obs.NewSimMetrics(reg) // pre-register, as the CLI does
+		pool, err := NewLocalPool(workers, Config{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		if _, err := experiments.RunSpec(experiments.Options{Executor: pool}, spec); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot(), sb.String()
+	}
+
+	one, prom1 := distSnap(1)
+	_, prom4 := distSnap(4)
+
+	// Worker count must not change a single byte.
+	if prom1 != prom4 {
+		t.Fatalf("metrics differ between 1-worker and 4-worker runs:\n%s\n%s", prom1, prom4)
+	}
+
+	// Counters: exact.
+	//lint:maporder-ok per-name equality checks; order affects nothing but failure order
+	for name, want := range serial.Counters {
+		if got := one.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	// Gauges: exact (unit-order fold ends on the last unit's sample,
+	// same as a serial run).
+	//lint:maporder-ok per-name equality checks; order affects nothing but failure order
+	for name, want := range serial.Gauges {
+		if got := one.Gauges[name]; got != want {
+			t.Errorf("gauge %s = %v, want %v", name, got, want)
+		}
+	}
+	// Histograms: counts and buckets exact; sums may reassociate.
+	//lint:maporder-ok per-name equality checks; order affects nothing but failure order
+	for name, want := range serial.Histograms {
+		got, ok := one.Histograms[name]
+		if !ok {
+			t.Errorf("histogram %s missing from merged registry", name)
+			continue
+		}
+		if got.Count != want.Count {
+			t.Errorf("histogram %s count = %d, want %d", name, got.Count, want.Count)
+		}
+		for i := range want.Buckets {
+			if got.Buckets[i] != want.Buckets[i] {
+				t.Errorf("histogram %s bucket %d = %+v, want %+v", name, i, got.Buckets[i], want.Buckets[i])
+			}
+		}
+		diff := got.Sum - want.Sum
+		if diff < 0 {
+			diff = -diff
+		}
+		tol := 1e-9 * (1 + want.Sum)
+		if tol < 0 {
+			tol = -tol
+		}
+		if diff > tol {
+			t.Errorf("histogram %s sum = %v, want %v (beyond reassociation tolerance)", name, got.Sum, want.Sum)
+		}
+	}
+}
+
+// TestDashboardStreamsProgress checks the dashboard reflects a sweep's
+// life: per-unit progress lines in append mode, ending at a complete
+// count.
+func TestDashboardStreamsProgress(t *testing.T) {
+	var out strings.Builder
+	dash := NewDashboard(&out, false)
+	pool, err := NewLocalPool(2, Config{Dashboard: dash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	spec := tinySweepSpec(3)
+	if _, err := experiments.RunSpec(experiments.Options{Executor: pool}, spec); err != nil {
+		t.Fatal(err)
+	}
+	dash.Finish()
+
+	text := out.String()
+	if !strings.Contains(text, "sweep: units 0/3") {
+		t.Fatalf("missing start line in dashboard output:\n%s", text)
+	}
+	if !strings.Contains(text, "units 3/3 done") {
+		t.Fatalf("missing completion line in dashboard output:\n%s", text)
+	}
+	if !strings.Contains(text, "workers 2") {
+		t.Fatalf("missing worker count in dashboard output:\n%s", text)
+	}
+}
+
+// TestDashboardRewriteMode checks terminal mode redraws in place and
+// Finish terminates the line exactly once.
+func TestDashboardRewriteMode(t *testing.T) {
+	var out strings.Builder
+	dash := NewDashboard(&out, true)
+	dash.update(Stats{UnitsTotal: 2, Workers: 1})
+	dash.update(Stats{UnitsTotal: 2, Workers: 1}) // unchanged: no redraw
+	dash.update(Stats{UnitsTotal: 2, UnitsDone: 2, Workers: 1})
+	dash.Finish()
+	dash.Finish() // idempotent
+
+	text := out.String()
+	if got := strings.Count(text, "\r"); got != 2 {
+		t.Fatalf("redraws = %d, want 2:\n%q", got, text)
+	}
+	if got := strings.Count(text, "\n"); got != 1 {
+		t.Fatalf("newlines = %d, want 1:\n%q", got, text)
+	}
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatalf("Finish did not terminate the line: %q", text)
+	}
+}
+
+// TestLocalPoolCancellation checks a canceled sweep context unwinds
+// cleanly and the pool survives for the next run.
+func TestLocalPoolCancellation(t *testing.T) {
+	pool, err := NewLocalPool(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.RunPoints(ctx, []experiments.Point{tinySweepSpec(1).Point(0)}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The pool still works afterwards.
+	res, err := pool.RunPoints(context.Background(), []experiments.Point{tinySweepSpec(1).Point(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results, want 1", len(res))
+	}
+}

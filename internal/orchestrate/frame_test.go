@@ -1,0 +1,209 @@
+package orchestrate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		bytes.Repeat([]byte("abc"), 10000),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameCorruptRejected checks the receive side refuses damaged
+// frames instead of handing garbage to the JSON decoder.
+func TestFrameCorruptRejected(t *testing.T) {
+	frame := func() []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, []byte(`{"type":"hello","worker":"w"}`)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	flipPayload := frame()
+	flipPayload[len(flipPayload)-1] ^= 0x01
+	if _, err := readFrame(bytes.NewReader(flipPayload)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("flipped payload byte: err = %v, want ErrFrameCorrupt", err)
+	}
+
+	flipCRC := frame()
+	flipCRC[5] ^= 0x80
+	if _, err := readFrame(bytes.NewReader(flipCRC)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("flipped checksum byte: err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+// TestFrameShortRejected checks truncation at every boundary surfaces
+// as an unexpected EOF (distinct from a clean close before a frame).
+func TestFrameShortRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{1, 4, 7, len(whole) - 1} {
+		if _, err := readFrame(bytes.NewReader(whole[:cut])); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTooLargeRejected checks a corrupt header cannot provoke a
+// huge allocation.
+func TestFrameTooLargeRejected(t *testing.T) {
+	var head [8]byte
+	binary.BigEndian.PutUint32(head[0:4], maxFramePayload+1)
+	if _, err := readFrame(bytes.NewReader(head[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize header: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestMessageValidation checks recvMsg enforces the envelope contract.
+func TestMessageValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    message
+	}{
+		{"unknown type", message{Type: "quantum"}},
+		{"hello without name", message{Type: msgHello}},
+		{"unit without unit", message{Type: msgUnit}},
+		{"result without result", message{Type: msgResult}},
+		{"error without error", message{Type: msgError, UnitID: 3}},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := sendMsg(&buf, tc.m); err != nil {
+			t.Fatalf("%s: send: %v", tc.name, err)
+		}
+		if _, err := recvMsg(&buf); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// goldenMessages is a fixed protocol exchange: hello, one flood unit,
+// its result. Flood parameters keep the fixture small and entirely
+// within the experiments package's own types.
+func goldenMessages(t *testing.T) []message {
+	t.Helper()
+	fp := experiments.DefaultFloodParams()
+	fp.NetworkSize = 16
+	fp.AvgDegree = 3
+	fp.NumQueries = 4
+	pt := experiments.Point{Family: experiments.FamilyFlood, Flood: &fp}
+	return []message{
+		{Type: msgHello, Worker: "golden-worker"},
+		{Type: msgUnit, Unit: &workUnit{ID: 0, Key: pt.Key(), Point: pt}},
+		{Type: msgResult, Result: &unitResult{
+			ID:  0,
+			Key: pt.Key(),
+			Result: experiments.PointResult{
+				Family: experiments.FamilyFlood,
+				Flood: &experiments.FloodResults{
+					Queries: 4, Satisfied: 3, Unsatisfied: 1,
+					Messages: 120, PeerLoads: []int64{7, 8, 9},
+				},
+			},
+		}},
+		{Type: msgError, UnitID: 0, Error: "synthetic failure"},
+	}
+}
+
+// TestGoldenFrames pins the wire format: the exact bytes of a fixed
+// exchange, hex-dumped under testdata/. Any framing or encoding change
+// shows up as a reviewable golden diff — and means old workers and new
+// coordinators no longer interoperate. Regenerate with
+// `go test ./internal/orchestrate -run Golden -update`.
+func TestGoldenFrames(t *testing.T) {
+	var wire bytes.Buffer
+	for _, m := range goldenMessages(t) {
+		if err := sendMsg(&wire, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump := hexDump(wire.Bytes())
+
+	path := filepath.Join("testdata", "golden_frames.hex")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if dump != string(want) {
+		t.Fatalf("wire frames changed; run with -update after an intentional protocol change\ngot:\n%s\nwant:\n%s", dump, want)
+	}
+
+	// The golden bytes decode back to the same messages.
+	r := bytes.NewReader(wire.Bytes())
+	for i, m := range goldenMessages(t) {
+		got, err := recvMsg(r)
+		if err != nil {
+			t.Fatalf("decoding golden message %d: %v", i, err)
+		}
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(m)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("golden message %d changed in flight:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// hexDump renders bytes as 32-hex-digit lines, stable and diffable.
+func hexDump(b []byte) string {
+	const width = 16
+	var sb strings.Builder
+	for i := 0; i < len(b); i += width {
+		end := i + width
+		if end > len(b) {
+			end = len(b)
+		}
+		sb.WriteString(hex.EncodeToString(b[i:end]))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -101,6 +101,10 @@ type Network struct {
 	rngs     map[linkKey]*simrng.RNG
 	isolated map[netip.AddrPort]bool
 
+	// streams registers stream listeners (see stream.go); packet
+	// endpoints and stream listeners share the address space.
+	streams map[netip.AddrPort]*StreamListener
+
 	// met backs both the Stats snapshot and an attached registry
 	// (AttachMetrics); guarded by mu for swap, instruments are atomic.
 	met *obs.MemnetMetrics

@@ -1,0 +1,215 @@
+package memnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func streamPairForTest(t *testing.T) (*Network, net.Listener, net.Conn, net.Conn) {
+	t.Helper()
+	n := New(1)
+	l := n.ListenStream()
+	var server net.Conn
+	accepted := make(chan error, 1)
+	go func() {
+		var err error
+		server, err = l.Accept()
+		accepted <- err
+	}()
+	client, err := n.DialStream(l.AddrPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	return n, l, client, server
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	_, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	msg := []byte("hello over the switchboard")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	// And the other direction.
+	if _, err := server.Write([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	ack := make([]byte, 3)
+	if _, err := io.ReadFull(client, ack); err != nil {
+		t.Fatal(err)
+	}
+	if string(ack) != "ack" {
+		t.Fatalf("ack = %q", ack)
+	}
+}
+
+// TestStreamPartialReads checks chunk remainders: a big write arrives
+// intact across many small reads.
+func TestStreamPartialReads(t *testing.T) {
+	_, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	msg := bytes.Repeat([]byte("0123456789"), 100)
+	go func() {
+		client.Write(msg)
+		client.Close()
+	}()
+	var got bytes.Buffer
+	buf := make([]byte, 7)
+	for {
+		n, err := server.Read(buf)
+		got.Write(buf[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("reassembled %d bytes, want %d", got.Len(), len(msg))
+	}
+}
+
+// TestStreamCloseDeliversBufferedDataFirst pins the EOF contract: data
+// written before the writer closed is still readable.
+func TestStreamCloseDeliversBufferedDataFirst(t *testing.T) {
+	_, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer server.Close()
+
+	if _, err := client.Write([]byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("buffered data lost at close: %v", err)
+	}
+	if string(got) != "final" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := server.Read(got); err != io.EOF {
+		t.Fatalf("after drain, err = %v, want io.EOF", err)
+	}
+	// Writing to a closed peer fails.
+	if _, err := server.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+// TestStreamBlockedLinkKillsWrites checks the partition model: Block
+// on the client→server link makes client writes fail until Unblock.
+func TestStreamBlockedLinkKillsWrites(t *testing.T) {
+	n, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	from := client.LocalAddr().(*net.TCPAddr).AddrPort()
+	to := client.RemoteAddr().(*net.TCPAddr).AddrPort()
+	n.Block(from, to)
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrLinkBlocked) {
+		t.Fatalf("write over blocked link: err = %v, want ErrLinkBlocked", err)
+	}
+	// Server→client is a separate directed link and still works.
+	if _, err := server.Write([]byte("y")); err != nil {
+		t.Fatalf("reverse direction blocked too: %v", err)
+	}
+	n.Unblock(from, to)
+	if _, err := client.Write([]byte("z")); err != nil {
+		t.Fatalf("write after Unblock: %v", err)
+	}
+}
+
+// TestStreamIsolateKillsBothDirections checks Isolate on one endpoint
+// fails writes from either side.
+func TestStreamIsolateKillsBothDirections(t *testing.T) {
+	n, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	n.Isolate(server.LocalAddr().(*net.TCPAddr).AddrPort())
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrLinkBlocked) {
+		t.Fatalf("write to isolated peer: err = %v, want ErrLinkBlocked", err)
+	}
+	if _, err := server.Write([]byte("y")); !errors.Is(err, ErrLinkBlocked) {
+		t.Fatalf("write from isolated peer: err = %v, want ErrLinkBlocked", err)
+	}
+}
+
+func TestStreamReadDeadline(t *testing.T) {
+	_, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	server.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read past deadline: err = %v, want ErrDeadlineExceeded", err)
+	}
+	// Clearing the deadline restores blocking reads.
+	server.SetReadDeadline(time.Time{})
+	go client.Write([]byte("k"))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamWriteDeadlineOnFullBuffer(t *testing.T) {
+	_, l, client, server := streamPairForTest(t)
+	defer l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	client.SetWriteDeadline(time.Now().Add(20 * time.Millisecond))
+	var err error
+	for i := 0; i < streamChunks+1; i++ {
+		if _, err = client.Write([]byte("chunk")); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("write into full buffer: err = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestStreamDialErrors(t *testing.T) {
+	n := New(1)
+	l := n.ListenStream()
+	addr := l.AddrPort()
+
+	// Dialing a blocked destination refuses.
+	other := n.ListenStream() // source addresses are fresh, so block the default
+	_ = other
+	l.Close()
+	if _, err := n.DialStream(addr); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	// Accept on a closed listener errors.
+	if _, err := l.Accept(); err != net.ErrClosed {
+		t.Fatalf("Accept on closed listener: err = %v, want net.ErrClosed", err)
+	}
+}
