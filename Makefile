@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check cover-check obs-smoke sweep-smoke experiments-quick experiments-full clean
+.PHONY: all build vet lint vuln test test-short test-chaos race fuzz-smoke bench bench-smoke bench-json bench-check cover-check obs-smoke sweep-smoke cluster-smoke experiments-quick experiments-full clean
 
-all: build vet lint test fuzz-smoke bench-smoke obs-smoke sweep-smoke
+all: build vet lint test fuzz-smoke bench-smoke obs-smoke sweep-smoke cluster-smoke
 
 # The packages with hot-path microbenchmarks (b.ReportAllocs); see also
 # the top-level BenchmarkSingleRun in bench_test.go.
@@ -80,6 +80,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./node
+	$(GO) test -run='^$$' -fuzz=FuzzStateSyncDecode -fuzztime=10s ./node/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzGossipParams -fuzztime=10s ./internal/gossip
 	$(GO) test -run='^$$' -fuzz=FuzzDHTLookup -fuzztime=10s ./internal/dht
 
@@ -149,6 +150,14 @@ obs-smoke:
 sweep-smoke:
 	$(GO) build -o /tmp/guess-sweep ./cmd/guess-sweep
 	/tmp/guess-sweep -smoke
+
+# End-to-end smoke of cluster-wide fair admission: a 3-node memnet
+# cluster synced to the shed-state service, driven through a scripted
+# service outage — every node must degrade to local-only shedding
+# (fallback counters move) and re-converge when the service returns.
+cluster-smoke:
+	$(GO) build -o /tmp/guess-cluster ./cmd/guess-cluster
+	/tmp/guess-cluster -smoke
 
 # Coverage gate for the protocol substrates and the experiment
 # harness: the cross-protocol property suite only means something

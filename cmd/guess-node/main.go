@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/netip"
 	"os"
@@ -26,6 +27,7 @@ import (
 
 	guess "repro"
 	"repro/node"
+	"repro/node/cluster"
 )
 
 func main() {
@@ -54,6 +56,9 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 0, "graceful drain window on shutdown (0 = close immediately)")
 	snapshot := fs.String("snapshot", "", "path for periodic link-cache snapshots, restored on startup (empty = disabled)")
 	snapshotInterval := fs.Duration("snapshot-interval", 30*time.Second, "period between link-cache snapshots")
+	stateAddr := fs.String("state", "", "TCP address of the cluster shed-state service (empty = standalone; requires -admission fair)")
+	stateInterval := fs.Duration("state-interval", time.Second, "push/pull period against -state")
+	nodeName := fs.String("node-name", "", "stable name for -state sequence tracking (default: the bound address)")
 	queryProbe := fs.String("query-probe", "Random", "QueryProbe policy")
 	queryFlag := fs.String("query", "", "run one query and exit")
 	desired := fs.Int("desired", 1, "results wanted for -query")
@@ -109,12 +114,39 @@ func run(args []string) error {
 		}
 	}
 
+	if *stateAddr != "" && admissionMode != node.AdmissionFair {
+		return errors.New("-state needs -admission fair (the shed-state service syncs the fair sketch)")
+	}
+
 	n, err := node.Listen(*listen, cfg)
 	if err != nil {
 		return err
 	}
 	defer n.Close()
 	fmt.Printf("guess-node listening on %v, sharing %d files\n", n.Addr(), n.NumFiles())
+
+	// The cluster sync client: push local admission deltas to the
+	// shed-state service, pull the merged aggregate. The node keeps
+	// serving on local-only shedding whenever the service is
+	// unreachable, so a dead -state address degrades rather than fails.
+	var stateSync *cluster.SyncClient
+	if *stateAddr != "" {
+		name := *nodeName
+		if name == "" {
+			name = n.Addr().String()
+		}
+		stateSync, err = cluster.NewSyncClient(n, cluster.ClientConfig{
+			Name:     name,
+			Dial:     func() (net.Conn, error) { return net.DialTimeout("tcp", *stateAddr, *stateInterval) },
+			Interval: *stateInterval,
+			Metrics:  reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer stateSync.Close()
+		fmt.Printf("state sync to %s as %q every %v\n", *stateAddr, name, *stateInterval)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -142,8 +174,21 @@ func run(args []string) error {
 				status, code = "draining", http.StatusServiceUnavailable
 			}
 			w.WriteHeader(code)
-			fmt.Fprintf(w, `{"status":%q,"uptime_seconds":%.3f,"cache_entries":%d,"suspects_pending":%d}`+"\n",
-				status, n.Uptime().Seconds(), n.CacheLen(), n.Suspects())
+			// Cluster fields appear only when -state is set: how stale
+			// the merged aggregate is, whether the node is shedding on
+			// local evidence alone, and which salt epoch it hashes under.
+			clusterFields := ""
+			if stateSync != nil {
+				st := stateSync.Status()
+				age := -1.0 // no aggregate pulled yet
+				if !st.LastPull.IsZero() {
+					age = time.Since(st.LastPull).Seconds()
+				}
+				clusterFields = fmt.Sprintf(`,"last_pull_age_seconds":%.3f,"local_fallback":%v,"salt_epoch":%d`,
+					age, st.Fallback, st.Epoch)
+			}
+			fmt.Fprintf(w, `{"status":%q,"uptime_seconds":%.3f,"cache_entries":%d,"suspects_pending":%d%s}`+"\n",
+				status, n.Uptime().Seconds(), n.CacheLen(), n.Suspects(), clusterFields)
 		})
 		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {

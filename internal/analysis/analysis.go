@@ -156,6 +156,18 @@ var deterministicPkgs = map[string]bool{
 	// local ones; its only wall-clock use (the worker liveness
 	// watchdog) carries a reasoned suppression.
 	"repro/internal/orchestrate": true,
+	// internal/frame is pure byte layout (length + CRC framing shared
+	// by orchestrate and node/cluster): no clock, no RNG, no maps —
+	// binding it costs nothing and keeps the wire format seed-stable.
+	"repro/internal/frame": true,
+
+	// node/cluster is deliberately NOT in this set, like the rest of
+	// node/: the harness backs off on real time, the sync client
+	// jitters its push interval off the wall clock, and salt epochs
+	// are minted from time.Now — all load-bearing uses of
+	// nondeterminism in a live robustness layer. Its tests pin
+	// determinism where it matters (snapshot bytes, dedupe, epoch
+	// ordering) with injected clocks instead.
 }
 
 // IsDeterministic reports whether the import path names a package

@@ -1,0 +1,72 @@
+// Package frame implements the repo's shared stream framing: length-
+// prefixed, CRC-32 checksummed payloads. It is the one wire format
+// every connection-oriented protocol here speaks — the distributed
+// sweep orchestration (internal/orchestrate) and the cluster
+// shed-state sync (node/cluster) — so a frame written by either side
+// of either protocol is decodable by the same ten lines of code.
+//
+//	[4-byte big-endian payload length][4-byte big-endian CRC-32 (IEEE)
+//	of the payload][payload]
+//
+// The CRC catches truncation and corruption before a payload can reach
+// a decoder, and the caller-supplied length bound keeps a corrupt
+// header from provoking a huge allocation.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+var (
+	// ErrCorrupt reports a frame whose payload does not match its
+	// checksum.
+	ErrCorrupt = errors.New("frame: checksum mismatch")
+	// ErrTooLarge reports a frame whose payload exceeds the caller's
+	// size bound (on write: the payload itself; on read: the header's
+	// declared length).
+	ErrTooLarge = errors.New("frame: payload exceeds size bound")
+)
+
+// Write writes one frame. The header and payload go out in a single
+// Write call so a frame is never interleaved with another writer's
+// bytes (callers still serialize writes per connection).
+func Write(w io.Writer, payload []byte, max int) error {
+	if len(payload) > max {
+		return ErrTooLarge
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read reads one frame and verifies its checksum. A short read
+// mid-frame surfaces as io.ErrUnexpectedEOF; a clean EOF before any
+// header byte surfaces as io.EOF, so callers can tell a closed peer
+// from a truncated frame.
+func Read(r io.Reader, max int) ([]byte, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(head[0:4])
+	if int64(n) > int64(max) {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(head[4:8]) {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}

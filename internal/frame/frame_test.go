@@ -1,0 +1,85 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestRoundTrip: payloads of assorted sizes survive a write/read cycle
+// exactly, including the empty payload.
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte{},
+		[]byte("x"),
+		bytes.Repeat([]byte("frame"), 1000),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := Write(&buf, p, 1<<20); err != nil {
+			t.Fatalf("Write(%d bytes): %v", len(p), err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := Read(&buf, 1<<20)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+	if _, err := Read(&buf, 1<<20); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestCorruption: any flipped bit in payload or checksum is caught.
+func TestCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("hello frame"), 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	flipPayload := append([]byte(nil), whole...)
+	flipPayload[9] ^= 0x40
+	if _, err := Read(bytes.NewReader(flipPayload), 1<<10); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload byte: err = %v, want ErrCorrupt", err)
+	}
+	flipCRC := append([]byte(nil), whole...)
+	flipCRC[5] ^= 0x01
+	if _, err := Read(bytes.NewReader(flipCRC), 1<<10); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped checksum byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTruncation: every cut point mid-frame reads as ErrUnexpectedEOF,
+// never a hang or a bogus payload.
+func TestTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("payload"), 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		if _, err := Read(bytes.NewReader(whole[:cut]), 1<<10); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestSizeBound: oversized writes are refused locally, and a hostile
+// header cannot force a large allocation on read.
+func TestSizeBound(t *testing.T) {
+	if err := Write(io.Discard, make([]byte, 100), 99); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize write: err = %v, want ErrTooLarge", err)
+	}
+	var head [8]byte
+	binary.BigEndian.PutUint32(head[0:4], 1<<31)
+	if _, err := Read(bytes.NewReader(head[:]), 1<<20); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize header: err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+// Cluster metric sets: the sync-client side (guess_node_cluster_*,
+// one set per node participating in cluster shed-state sync) and the
+// shed-state service side (guess_cluster_*). As with NodeMetrics, a
+// nil registry is replaced with a private one so the instruments are
+// always usable.
+//
+// See README.md, "Observability", for the metric name tables.
+
+// ClusterMetrics instruments one node's shed-state sync client.
+type ClusterMetrics struct {
+	// Sync-loop outcomes: one sync is one push+pull round trip.
+	Syncs      *Counter
+	SyncErrors *Counter
+
+	// Fallback transitions and reconnects: Fallbacks counts entries
+	// into local-only shedding; Reconnects counts recoveries back to
+	// the cluster view.
+	Fallbacks  *Counter
+	Reconnects *Counter
+
+	// Salt-epoch handling: rotations adopted from the service, and
+	// aggregates rejected for carrying an epoch older than ours.
+	EpochRotations *Counter
+	StaleEpochs    *Counter
+
+	// Fallback is 1 while the node sheds on local state only;
+	// LastPullUnix is the unix time of the last installed aggregate;
+	// SaltEpoch is the epoch the node currently hashes under.
+	Fallback     *Gauge
+	LastPullUnix *Gauge
+	SaltEpoch    *Gauge
+}
+
+// NewClusterMetrics registers the sync-client metric set in reg.
+func NewClusterMetrics(reg *Registry) *ClusterMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &ClusterMetrics{
+		Syncs:      reg.Counter("guess_node_cluster_syncs_total", "Completed shed-state sync rounds (push+pull)."),
+		SyncErrors: reg.Counter("guess_node_cluster_sync_errors_total", "Sync rounds failed (dial, deadline, or decode errors)."),
+
+		Fallbacks:  reg.Counter("guess_node_cluster_fallbacks_total", "Transitions into local-only shedding."),
+		Reconnects: reg.Counter("guess_node_cluster_reconnects_total", "Recoveries from fallback to the cluster view."),
+
+		EpochRotations: reg.Counter("guess_node_cluster_epoch_rotations_total", "Salt epochs adopted from the service."),
+		StaleEpochs:    reg.Counter("guess_node_cluster_stale_epochs_total", "Aggregates rejected for a stale salt epoch."),
+
+		Fallback:     reg.Gauge("guess_node_cluster_fallback", "1 while shedding on local state only."),
+		LastPullUnix: reg.Gauge("guess_node_cluster_last_pull_unixtime", "Unix time of the last installed aggregate."),
+		SaltEpoch:    reg.Gauge("guess_node_cluster_salt_epoch", "Salt epoch the node currently hashes under."),
+	}
+}
+
+// ServiceMetrics instruments the shed-state service.
+type ServiceMetrics struct {
+	// Push accounting: applied, deduplicated (replayed seq after a
+	// lost ack), and rejected (stale or unknown epoch) pushes.
+	Pushes          *Counter
+	DuplicatePushes *Counter
+	RejectedPushes  *Counter
+
+	// SaltRotations counts epoch rotations the service initiated.
+	SaltRotations *Counter
+
+	// Snapshot (crash-recovery) accounting, mirroring the node's
+	// snapshot counters.
+	SnapshotWrites   *Counter
+	SnapshotErrors   *Counter
+	SnapshotRejected *Counter
+
+	// NodesConnected tracks live sync connections; SaltEpoch is the
+	// epoch the service currently serves; Warming is 1 while the
+	// aggregate is too young to trust (after a cold start or
+	// rotation).
+	NodesConnected *Gauge
+	SaltEpoch      *Gauge
+	Warming        *Gauge
+}
+
+// NewServiceMetrics registers the shed-state-service metric set in reg.
+func NewServiceMetrics(reg *Registry) *ServiceMetrics {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &ServiceMetrics{
+		Pushes:          reg.Counter("guess_cluster_pushes_total", "Delta pushes applied to the aggregate."),
+		DuplicatePushes: reg.Counter("guess_cluster_duplicate_pushes_total", "Replayed pushes acknowledged but not re-applied."),
+		RejectedPushes:  reg.Counter("guess_cluster_rejected_pushes_total", "Pushes rejected for an epoch mismatch."),
+
+		SaltRotations: reg.Counter("guess_cluster_salt_rotations_total", "Salt epoch rotations initiated by the service."),
+
+		SnapshotWrites:   reg.Counter("guess_cluster_snapshot_writes_total", "Aggregate snapshots written."),
+		SnapshotErrors:   reg.Counter("guess_cluster_snapshot_errors_total", "Aggregate snapshot write failures."),
+		SnapshotRejected: reg.Counter("guess_cluster_snapshot_rejected_total", "Startup snapshots rejected as corrupt."),
+
+		NodesConnected: reg.Gauge("guess_cluster_nodes_connected", "Live shed-state sync connections."),
+		SaltEpoch:      reg.Gauge("guess_cluster_salt_epoch", "Salt epoch the service currently serves."),
+		Warming:        reg.Gauge("guess_cluster_warming", "1 while the aggregate is too young to trust."),
+	}
+}

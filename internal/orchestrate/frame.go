@@ -1,25 +1,22 @@
 package orchestrate
 
-// The wire protocol: length-prefixed, checksummed JSON frames.
-//
-//	[4-byte big-endian payload length][4-byte big-endian CRC-32 (IEEE)
-//	of the payload][payload]
-//
-// JSON keeps the protocol debuggable and reuses the exact encodings
-// that define the content addresses (a Point's wire form and its
-// digest input are the same encoding); the CRC catches truncation and
-// corruption before a frame can reach json.Unmarshal, and the length
-// bound keeps a corrupt header from provoking a huge allocation.
+// The wire protocol: length-prefixed, checksummed JSON frames, using
+// the shared internal/frame format (4-byte big-endian length, 4-byte
+// CRC-32 IEEE, payload). JSON keeps the protocol debuggable and reuses
+// the exact encodings that define the content addresses (a Point's
+// wire form and its digest input are the same encoding); the CRC
+// catches truncation and corruption before a frame can reach
+// json.Unmarshal, and the length bound keeps a corrupt header from
+// provoking a huge allocation.
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 
 	"repro/internal/experiments"
+	"repro/internal/frame"
 	"repro/internal/obs"
 )
 
@@ -32,25 +29,15 @@ const maxFramePayload = 256 << 20
 var (
 	// ErrFrameCorrupt reports a frame whose payload does not match its
 	// checksum.
-	ErrFrameCorrupt = errors.New("orchestrate: frame checksum mismatch")
+	ErrFrameCorrupt = frame.ErrCorrupt
 	// ErrFrameTooLarge reports a frame header declaring a payload over
 	// the size bound.
-	ErrFrameTooLarge = errors.New("orchestrate: frame exceeds size bound")
+	ErrFrameTooLarge = frame.ErrTooLarge
 )
 
-// writeFrame writes one frame. The header and payload go out in a
-// single Write so a frame is never interleaved with another writer's
-// bytes (callers still serialize writes per connection).
+// writeFrame writes one frame in the shared internal/frame format.
 func writeFrame(w io.Writer, payload []byte) error {
-	if len(payload) > maxFramePayload {
-		return ErrFrameTooLarge
-	}
-	buf := make([]byte, 8+len(payload))
-	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[8:], payload)
-	_, err := w.Write(buf)
-	return err
+	return frame.Write(w, payload, maxFramePayload)
 }
 
 // readFrame reads one frame and verifies its checksum. A short read
@@ -58,25 +45,7 @@ func writeFrame(w io.Writer, payload []byte) error {
 // header byte surfaces as io.EOF, so callers can tell a closed peer
 // from a truncated frame.
 func readFrame(r io.Reader) ([]byte, error) {
-	var head [8]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(head[0:4])
-	if n > maxFramePayload {
-		return nil, ErrFrameTooLarge
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
-	}
-	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(head[4:8]) {
-		return nil, ErrFrameCorrupt
-	}
-	return payload, nil
+	return frame.Read(r, maxFramePayload)
 }
 
 // msgType discriminates protocol messages.

@@ -110,14 +110,56 @@ func (f *flatAdmitter) admit(key uint64, kind probeKind, now time.Time) admitVer
 }
 
 // Fair-admission sketch geometry. Like Stochastic Fair Blue, requester
-// demand is tracked in fairLevels independent hash rows of fairBuckets
+// demand is tracked in FairLevels independent hash rows of FairBuckets
 // counters each; a requester's demand estimate is the minimum of its
 // buckets, so two requesters must collide in every row before one can
 // inherit the other's heat. Memory is constant: 4x64 u32 counters.
+//
+// The geometry is exported because the cluster shed-state protocol
+// (node/cluster) ships these exact arrays on the wire: nodes push
+// bucket deltas and pull a cluster-merged aggregate, so both sides
+// must agree on the shape (and, via the shared salt, on which bucket a
+// requester hashes to).
 const (
-	fairLevels  = 4
-	fairBuckets = 64
+	FairLevels  = 4
+	FairBuckets = 64
 )
+
+// fairLevels/fairBuckets keep the package-internal spelling terse.
+const (
+	fairLevels  = FairLevels
+	fairBuckets = FairBuckets
+)
+
+// AdmissionDelta is the fair sketch's demand counted since the last
+// drain: the per-bucket query counts a cluster sync client pushes to
+// the shed-state service. Deltas include refused queries — offered
+// demand, not admitted demand — so the cluster aggregate sees a
+// requester's full appetite.
+type AdmissionDelta struct {
+	Counts [FairLevels][FairBuckets]uint32
+}
+
+// IsZero reports whether the delta carries no demand.
+func (d *AdmissionDelta) IsZero() bool {
+	for l := range d.Counts {
+		for _, c := range d.Counts[l] {
+			if c != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AdmissionAggregate is the cluster-merged view of requester demand: a
+// per-admission-window estimate of each sketch bucket across every
+// node in the cluster, plus the service's active-requester estimate
+// (nonzero level-0 buckets of the merged window, for observability).
+type AdmissionAggregate struct {
+	Counts [FairLevels][FairBuckets]uint32
+	Active int
+}
 
 // fairAdmitter sheds the heaviest requesters first. Per admission
 // window it counts each requester's queries in the sketch; when the
@@ -145,6 +187,21 @@ type fairAdmitter struct {
 	// crowd is shed from the first probe of every window.
 	offered, admitted int
 	pressurePrev      bool
+
+	// delta accrues query counts since the last takeDelta drain
+	// (across window rolls — the sync interval need not match the
+	// admission window); a cluster sync client pushes it to the
+	// shed-state service. Adds saturate instead of wrapping.
+	delta AdmissionDelta
+
+	// agg is the cluster-merged demand view installed by the sync
+	// client (aggOK false = local-only shedding). Under pressure a
+	// requester's demand estimate is max(local, cluster): the cluster
+	// estimate already contains this node's pushed demand, so max —
+	// not sum — avoids double-counting self while still exposing a
+	// requester that spreads its load across nodes.
+	agg   AdmissionAggregate
+	aggOK bool
 }
 
 // newFairAdmitter scales the per-second capacity to the window length.
@@ -205,18 +262,28 @@ func (f *fairAdmitter) admit(key uint64, kind probeKind, now time.Time) admitVer
 		return admitVerdict{ok: true}
 	}
 
-	// Count the query in the sketch and read the requester's demand
-	// estimate (min over levels, SFB-style).
-	h1, h2 := uint32(key), uint32(key>>32)
+	// Count the query in the sketch (and the cluster delta) and read
+	// the requester's demand estimate (min over levels, SFB-style).
+	idx := FairIndices(key)
 	est := uint32(1<<32 - 1)
 	for l := 0; l < fairLevels; l++ {
-		b := (h1 + uint32(l)*h2) % fairBuckets
+		b := idx[l]
 		f.counts[l][b]++
+		if f.delta.Counts[l][b] < ^uint32(0) {
+			f.delta.Counts[l][b]++
+		}
 		if l == 0 && f.counts[l][b] == 1 {
 			f.active++
 		}
 		if f.counts[l][b] < est {
 			est = f.counts[l][b]
+		}
+	}
+	// A requester that rotates across the cluster looks light to every
+	// node alone; the cluster aggregate exposes its true demand.
+	if f.aggOK {
+		if a := aggEstimate(&f.agg, idx); a > est {
+			est = a
 		}
 	}
 
@@ -234,9 +301,50 @@ func (f *fairAdmitter) admit(key uint64, kind probeKind, now time.Time) admitVer
 	return admitVerdict{ok: true}
 }
 
+// aggEstimate reads a requester's cluster-wide demand estimate from an
+// aggregate: the SFB min over its bucket in every row.
+func aggEstimate(agg *AdmissionAggregate, idx [FairLevels]int) uint32 {
+	est := uint32(1<<32 - 1)
+	for l := 0; l < fairLevels; l++ {
+		if c := agg.Counts[l][idx[l]]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// takeDelta drains the demand counted since the previous drain,
+// reporting whether any demand accrued.
+func (f *fairAdmitter) takeDelta() (AdmissionDelta, bool) {
+	d := f.delta
+	f.delta = AdmissionDelta{}
+	return d, !d.IsZero()
+}
+
+// setAggregate installs (or, with ok false, clears) the cluster view.
+func (f *fairAdmitter) setAggregate(agg AdmissionAggregate, ok bool) {
+	f.agg, f.aggOK = agg, ok
+}
+
+// resetSketch forgets all counted demand — local windows, the unsent
+// delta, and the cluster view. The sync client calls it on salt epoch
+// rotation: counts hashed under the old salt land in meaningless
+// buckets under the new one.
+func (f *fairAdmitter) resetSketch() {
+	for l := range f.counts {
+		clear(f.counts[l][:])
+	}
+	f.active, f.activePrev = 0, 0
+	f.delta = AdmissionDelta{}
+	f.agg, f.aggOK = AdmissionAggregate{}, false
+}
+
 // share is the per-requester fair share this window: capacity divided
 // by the larger of the current and previous windows' active-requester
-// estimates, never below 1.
+// estimates, never below 1. The denominator is deliberately local —
+// each node's capacity is contended only by requesters active at that
+// node — while the cluster aggregate sharpens only the demand
+// estimate in the numerator comparison.
 func (f *fairAdmitter) share() int {
 	active := f.active
 	if f.activePrev > active {
@@ -252,9 +360,32 @@ func (f *fairAdmitter) share() int {
 	return s
 }
 
+// FairIndices maps a requester key to its bucket in each sketch row
+// (the SFB row hashes). Exported so the cluster shed-state service and
+// its tests can read a requester's estimate out of a merged aggregate
+// with exactly the arithmetic the admitter uses.
+func FairIndices(key uint64) [FairLevels]int {
+	h1, h2 := uint32(key), uint32(key>>32)
+	var idx [FairLevels]int
+	for l := 0; l < FairLevels; l++ {
+		idx[l] = int((h1 + uint32(l)*h2) % fairBuckets)
+	}
+	return idx
+}
+
+// RequesterKey hashes a requester address into the 64-bit sketch key
+// (FNV-1a over the salt, IP, and port). Exported for the cluster
+// layer: with a cluster-shared salt (Config.KeySalt or a sync client's
+// rotated epoch salt) every node hashes a requester to the same
+// buckets, which is what makes merged sketches meaningful. Without a
+// cluster the salt is per-node so two nodes never shed the same
+// colliding requesters.
+func RequesterKey(addr netip.AddrPort, salt uint64) uint64 {
+	return requesterKey(addr, salt)
+}
+
 // requesterKey hashes a requester address into the 64-bit sketch key
-// (FNV-1a over the salt, IP, and port). The salt is per-node so two
-// nodes never shed the same colliding requesters.
+// (FNV-1a over the salt, IP, and port).
 func requesterKey(addr netip.AddrPort, salt uint64) uint64 {
 	const (
 		offset64 = 14695981039346656037

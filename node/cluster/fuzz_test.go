@@ -1,0 +1,79 @@
+package cluster
+
+// Fuzzing for the state-sync frame decoder: decodeSyncMsg consumes
+// bytes straight off a socket from arbitrary peers, so it must reject
+// (never panic on) any input. Seeds cover every message type plus the
+// classic corruptions; the fuzzer mutates from there.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/node"
+)
+
+func FuzzStateSyncDecode(f *testing.F) {
+	// One valid encoding of each message type.
+	var delta node.AdmissionDelta
+	delta.Counts[0][3] = 7
+	delta.Counts[node.FairLevels-1][node.FairBuckets-1] = ^uint32(0)
+	var agg node.AdmissionAggregate
+	agg.Counts[1][10] = 42
+	agg.Active = 3
+	seeds := []syncMsg{
+		{Type: syncHello, Node: "n0", Nonce: 1},
+		{Type: syncPush, Seq: 1, Epoch: 12345, Delta: &delta},
+		{Type: syncPush, Seq: 0, Epoch: 12345}, // heartbeat pull
+		{Type: syncAgg, Epoch: 12345, Salt: saltOf(12345), AckSeq: 1, Agg: &agg},
+		{Type: syncAgg, Epoch: 12345, Salt: saltOf(12345), Agg: &agg, Warming: true},
+		{Type: syncReject, Epoch: 99999, Salt: saltOf(99999)},
+	}
+	for _, m := range seeds {
+		b, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Truncations and a bit flip of each valid encoding.
+		f.Add(b[:len(b)/2])
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"type":"??"}`))
+	f.Add([]byte(`{"type":"hello","node":"` + string(make([]byte, 4096)) + `"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeSyncMsg(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the per-type invariants the
+		// service and client rely on without re-checking.
+		switch m.Type {
+		case syncHello:
+			if m.Node == "" || len(m.Node) > maxNodeName {
+				t.Fatalf("accepted hello with bad node %q", m.Node)
+			}
+		case syncPush:
+			if m.Seq > 0 && m.Delta == nil {
+				t.Fatal("accepted push without a delta")
+			}
+			if m.Epoch < 0 {
+				t.Fatalf("accepted push with epoch %d", m.Epoch)
+			}
+		case syncAgg:
+			if m.Agg == nil || m.Epoch <= 0 {
+				t.Fatalf("accepted agg with agg=%v epoch=%d", m.Agg, m.Epoch)
+			}
+		case syncReject:
+			if m.Epoch <= 0 {
+				t.Fatalf("accepted reject with epoch %d", m.Epoch)
+			}
+		default:
+			t.Fatalf("accepted unknown type %q", m.Type)
+		}
+	})
+}

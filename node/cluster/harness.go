@@ -1,0 +1,318 @@
+package cluster
+
+// The harness: launch and supervise K node instances.
+//
+// Each slot runs one member (a node plus, usually, its sync client),
+// built by a caller-supplied Start callback — which is what makes the
+// harness transport-agnostic: the callback binds the node over memnet,
+// real UDP, or anything else. The harness staggers the initial
+// bootstrap (a cold cluster that starts all nodes in the same instant
+// thundering-herds its seed peers), restarts a crashed member with
+// exponential backoff, and reports every transition as a lifecycle
+// event.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Member is one supervised instance: the resources a slot holds while
+// running. Stop must be idempotent and release everything (node, sync
+// client, sockets).
+type Member interface {
+	// Done is closed when the member has exited — crashed, killed, or
+	// stopped — signaling the harness to supervise.
+	Done() <-chan struct{}
+	// Stop shuts the member down (closing its node and sync client);
+	// Done must close as a consequence.
+	Stop()
+}
+
+// NodeMember is the common Member: a node with an optional sync
+// client. Fail (or Harness.Kill) simulates a crash.
+type NodeMember struct {
+	Node   interface{ Close() error }
+	Client *SyncClient
+
+	once sync.Once
+	done chan struct{}
+}
+
+// NewNodeMember wraps a node (anything with Close, usually a
+// *node.Node) and an optional sync client as a supervisable member.
+func NewNodeMember(n interface{ Close() error }, c *SyncClient) *NodeMember {
+	return &NodeMember{Node: n, Client: c, done: make(chan struct{})}
+}
+
+// Done implements Member.
+func (m *NodeMember) Done() <-chan struct{} { return m.done }
+
+// Stop implements Member: close the sync client first (so it stops
+// driving the node), then the node.
+func (m *NodeMember) Stop() {
+	m.once.Do(func() {
+		if m.Client != nil {
+			m.Client.Close()
+		}
+		if m.Node != nil {
+			m.Node.Close()
+		}
+		close(m.done)
+	})
+}
+
+// Fail marks the member crashed without a clean shutdown path (the
+// harness will restart its slot).
+func (m *NodeMember) Fail() { m.Stop() }
+
+// EventType classifies lifecycle events.
+type EventType int
+
+const (
+	// EventStarted: a slot's member came up.
+	EventStarted EventType = iota
+	// EventExited: a slot's member exited (crash or kill).
+	EventExited
+	// EventRestarting: the harness is waiting out the restart backoff
+	// before relaunching a slot.
+	EventRestarting
+	// EventStartFailed: the Start callback returned an error; the
+	// slot retries after backoff.
+	EventStartFailed
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventStarted:
+		return "started"
+	case EventExited:
+		return "exited"
+	case EventRestarting:
+		return "restarting"
+	case EventStartFailed:
+		return "start-failed"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one lifecycle transition.
+type Event struct {
+	Type EventType
+	// Slot is the member's index in [0, Slots).
+	Slot int
+	// Restarts counts how many times this slot has restarted so far.
+	Restarts int
+	// Backoff is the pause before the next start attempt
+	// (EventRestarting and EventStartFailed).
+	Backoff time.Duration
+	// Err is the start error (EventStartFailed).
+	Err error
+}
+
+// HarnessConfig configures a harness. Zero fields take defaults.
+type HarnessConfig struct {
+	// Slots is the number of supervised members (K). Required.
+	Slots int
+	// Start builds slot i's member: bind the node, start its sync
+	// client, return the bundle. Called again after each crash.
+	// Required.
+	Start func(slot int) (Member, error)
+	// Stagger is the delay between consecutive initial bootstraps.
+	// Default 0 (start everyone at once).
+	Stagger time.Duration
+	// RestartBackoff is the pause before restarting a crashed member,
+	// doubling per consecutive crash up to RestartBackoffMax.
+	// Defaults 100ms / 5s. A member that stays up for
+	// RestartBackoffMax resets its slot's backoff.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// Events, when non-nil, receives every lifecycle event
+	// synchronously (keep it fast; it runs on the supervisor
+	// goroutine).
+	Events func(Event)
+	// Logf, when non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+func (c HarnessConfig) withDefaults() HarnessConfig {
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
+	if c.RestartBackoffMax < c.RestartBackoff {
+		c.RestartBackoffMax = 5 * time.Second
+		if c.RestartBackoffMax < c.RestartBackoff {
+			c.RestartBackoffMax = c.RestartBackoff
+		}
+	}
+	return c
+}
+
+// Harness supervises K members. Create with StartHarness; always
+// Stop.
+type Harness struct {
+	cfg HarnessConfig
+
+	mu      sync.Mutex
+	members []Member // current member per slot (nil while down)
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// StartHarness launches the cluster: slot 0 immediately, each further
+// slot Stagger later, every slot supervised until Stop.
+func StartHarness(cfg HarnessConfig) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Slots < 1 {
+		return nil, errors.New("cluster: harness needs at least one slot")
+	}
+	if cfg.Start == nil {
+		return nil, errors.New("cluster: harness needs a Start callback")
+	}
+	h := &Harness{
+		cfg:     cfg,
+		members: make([]Member, cfg.Slots),
+		closing: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		h.wg.Add(1)
+		go h.supervise(i, time.Duration(i)*cfg.Stagger)
+	}
+	return h, nil
+}
+
+// Member returns slot i's current member (nil while the slot is down
+// or restarting).
+func (h *Harness) Member(slot int) Member {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if slot < 0 || slot >= len(h.members) {
+		return nil
+	}
+	return h.members[slot]
+}
+
+// Kill crashes slot i's member (chaos hook); the supervisor restarts
+// it with backoff. Reports whether a member was running.
+func (h *Harness) Kill(slot int) bool {
+	m := h.Member(slot)
+	if m == nil {
+		return false
+	}
+	m.Stop()
+	return true
+}
+
+// Stop shuts the whole cluster down and waits for every supervisor to
+// exit. Idempotent.
+func (h *Harness) Stop() {
+	h.closeOnce.Do(func() {
+		close(h.closing)
+	})
+	h.mu.Lock()
+	for _, m := range h.members {
+		if m != nil {
+			m.Stop()
+		}
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+func (h *Harness) event(e Event) {
+	if h.cfg.Events != nil {
+		h.cfg.Events(e)
+	}
+}
+
+// sleep waits d or until the harness closes; reports false on close.
+func (h *Harness) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-h.closing:
+			return false
+		default:
+			return true
+		}
+	}
+	select {
+	case <-h.closing:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// supervise runs one slot: start (after the stagger delay), wait for
+// exit, back off, restart — until the harness stops.
+func (h *Harness) supervise(slot int, delay time.Duration) {
+	defer h.wg.Done()
+	if !h.sleep(delay) {
+		return
+	}
+	backoff := h.cfg.RestartBackoff
+	restarts := 0
+	for {
+		m, err := h.cfg.Start(slot)
+		if err != nil {
+			h.logf("cluster harness: slot %d start: %v", slot, err)
+			h.event(Event{Type: EventStartFailed, Slot: slot, Restarts: restarts, Backoff: backoff, Err: err})
+			if !h.sleep(backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff, h.cfg.RestartBackoffMax)
+			continue
+		}
+		h.mu.Lock()
+		h.members[slot] = m
+		h.mu.Unlock()
+		h.event(Event{Type: EventStarted, Slot: slot, Restarts: restarts})
+		up := time.Now()
+		select {
+		case <-m.Done():
+		case <-h.closing:
+			m.Stop()
+			return
+		}
+		h.mu.Lock()
+		h.members[slot] = nil
+		h.mu.Unlock()
+		h.event(Event{Type: EventExited, Slot: slot, Restarts: restarts})
+		select {
+		case <-h.closing:
+			return
+		default:
+		}
+		// A member that ran long enough was healthy: its crash starts
+		// a fresh backoff ladder instead of escalating an old one.
+		if time.Since(up) >= h.cfg.RestartBackoffMax {
+			backoff = h.cfg.RestartBackoff
+		}
+		restarts++
+		h.event(Event{Type: EventRestarting, Slot: slot, Restarts: restarts, Backoff: backoff})
+		if !h.sleep(backoff) {
+			return
+		}
+		backoff = nextBackoff(backoff, h.cfg.RestartBackoffMax)
+	}
+}
+
+// nextBackoff doubles the backoff up to max.
+func nextBackoff(d, max time.Duration) time.Duration {
+	d *= 2
+	if d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,459 @@
+package cluster
+
+// The shed-state service: the cluster-wide aggregation point for
+// fair-admission sketches.
+//
+// Nodes push bucket deltas; the service folds them into the current
+// accounting window and answers every push (and hello) with the merged
+// aggregate — per-bucket max of the current and previous windows, so a
+// client installs a full window's demand estimate even early in a
+// window. All demand is keyed by the service's salt epoch: counts
+// hashed under different salts land in unrelated buckets, so a push
+// whose epoch mismatches is rejected rather than folded in, and a
+// rotation (or a cold start) discards every counted window and starts
+// a warming period during which clients are told not to trust the
+// aggregate.
+//
+// Crash tolerance: the aggregate (windows, epoch, per-node sequence
+// records) is snapshotted atomically — temp file + fsync + rename with
+// a CRC-32 trailer, exactly the node/snapshot.go pattern — and
+// restored on startup. The sequence records travel with the windows in
+// one checksummed file, so a restored service either has both a
+// delta's counts and the record that it was applied, or neither;
+// re-sent deltas therefore never double-count. A snapshot older than
+// one window restores the epoch but not the stale windows (warming); a
+// corrupt snapshot cold-starts with a fresh epoch.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/node"
+)
+
+// sketch is the service-side copy of the fair-admission counter
+// geometry.
+type sketch [node.FairLevels][node.FairBuckets]uint32
+
+// pushSeq tracks one node's applied pushes: the instance nonce it last
+// spoke with and the highest sequence number applied under it.
+type pushSeq struct {
+	Nonce   uint64
+	LastSeq uint64
+}
+
+// ServiceConfig configures a shed-state service. Zero fields take
+// defaults.
+type ServiceConfig struct {
+	// Window is the aggregation window; it should match the nodes'
+	// AdmissionWindow so the aggregate reads as per-window demand.
+	// Default 1s.
+	Window time.Duration
+	// RotateEvery, when positive, rotates the salt epoch on that
+	// period. Rotation discards all counted demand (old-salt counts
+	// are meaningless under the new salt) and re-enters warming.
+	RotateEvery time.Duration
+	// SnapshotPath, when set, enables crash recovery for the
+	// aggregate.
+	SnapshotPath string
+	// SnapshotInterval is the period between snapshots. Default 10s.
+	SnapshotInterval time.Duration
+	// Metrics, when non-nil, receives the guess_cluster_* metric set.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+
+	// now overrides the clock in unit tests; nil means time.Now.
+	now func() time.Time
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 10 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Service aggregates fair-admission sketches cluster-wide. Create with
+// Serve; always Close.
+type Service struct {
+	cfg ServiceConfig
+	ln  net.Listener
+	met *obs.ServiceMetrics
+
+	mu sync.Mutex
+	// epoch is the salt epoch (the unix-nano instant it was minted, so
+	// epochs are monotonic across restarts); salt is derived from it.
+	epoch int64
+	salt  uint64
+	// winStart indexes the current window (unix-nano / Window);
+	// cur/prev are the current and previous windows' merged counts.
+	winStart  int64
+	cur, prev sketch
+	// warmUntil: until this instant the aggregate is too young to
+	// trust (cold start, stale restore, or rotation) and replies carry
+	// Warming so clients stay in local fallback.
+	warmUntil time.Time
+	// seqs dedupes re-sent pushes per node name.
+	seqs map[string]pushSeq
+	// conns tracks live connections so Close can drop them.
+	conns map[net.Conn]struct{}
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Serve starts a shed-state service on ln. The service owns ln and
+// closes it on Close.
+func Serve(ln net.Listener, cfg ServiceConfig) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if ln == nil {
+		return nil, errors.New("cluster: Serve needs a listener")
+	}
+	s := &Service{
+		cfg:     cfg,
+		ln:      ln,
+		met:     obs.NewServiceMetrics(cfg.Metrics),
+		seqs:    make(map[string]pushSeq),
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+	}
+	now := cfg.now()
+	if !s.restoreSnapshot(now) {
+		s.rotateLocked(now) // cold start: fresh epoch, warming
+	}
+	s.met.SaltEpoch.Set(float64(s.epoch))
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.maintainLoop()
+	return s, nil
+}
+
+// Addr returns the service's listen address.
+func (s *Service) Addr() net.Addr { return s.ln.Addr() }
+
+// Epoch returns the current salt epoch.
+func (s *Service) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Salt returns the current requester-hash salt.
+func (s *Service) Salt() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.salt
+}
+
+// Warming reports whether the aggregate is still too young to trust.
+func (s *Service) Warming() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.now().Before(s.warmUntil)
+}
+
+// Estimate reads a requester key's cluster-wide per-window demand
+// estimate out of the current aggregate (test and ops hook).
+func (s *Service) Estimate(key uint64) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rollLocked(s.cfg.now())
+	agg := s.aggregateLocked()
+	idx := node.FairIndices(key)
+	est := ^uint32(0)
+	for l := 0; l < node.FairLevels; l++ {
+		if c := agg.Counts[l][idx[l]]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// Rotate forces a salt epoch rotation (ops/test hook; RotateEvery does
+// this on a schedule).
+func (s *Service) Rotate() {
+	s.mu.Lock()
+	s.rotateLocked(s.cfg.now())
+	s.mu.Unlock()
+	s.writeSnapshot()
+}
+
+// Close stops the service: a final snapshot is written, the listener
+// and every live connection close. Idempotent.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		s.writeSnapshot()
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// rotateLocked mints a fresh salt epoch at (or after) now, discards
+// all counted demand, and re-enters warming; callers hold s.mu. floor
+// lets the epoch-mismatch path guarantee the new epoch supersedes a
+// client's.
+func (s *Service) rotateLocked(now time.Time) {
+	e := now.UnixNano()
+	if e <= s.epoch {
+		e = s.epoch + 1
+	}
+	s.epoch = e
+	s.salt = saltOf(e)
+	s.cur, s.prev = sketch{}, sketch{}
+	s.winStart = now.UnixNano() / int64(s.cfg.Window)
+	s.warmUntil = now.Add(s.cfg.Window)
+	s.met.SaltRotations.Inc()
+	s.met.SaltEpoch.Set(float64(e))
+	s.met.Warming.Set(1)
+	s.logf("cluster service: rotated to epoch %d", e)
+}
+
+// rollLocked advances the accounting window; callers hold s.mu.
+func (s *Service) rollLocked(now time.Time) {
+	win := now.UnixNano() / int64(s.cfg.Window)
+	if win == s.winStart {
+		return
+	}
+	if win == s.winStart+1 {
+		s.prev = s.cur
+	} else {
+		s.prev = sketch{} // idle gap: nothing recent enough to carry
+	}
+	s.winStart = win
+	s.cur = sketch{}
+	if !now.Before(s.warmUntil) {
+		s.met.Warming.Set(0)
+	}
+}
+
+// aggregateLocked builds the merged per-window view: per-bucket max of
+// the current and previous windows (a full window's demand even early
+// in the current one), with the active-requester estimate from the
+// level-0 buckets; callers hold s.mu.
+func (s *Service) aggregateLocked() node.AdmissionAggregate {
+	var agg node.AdmissionAggregate
+	curActive, prevActive := 0, 0
+	for l := 0; l < node.FairLevels; l++ {
+		for b := 0; b < node.FairBuckets; b++ {
+			c, p := s.cur[l][b], s.prev[l][b]
+			if p > c {
+				agg.Counts[l][b] = p
+			} else {
+				agg.Counts[l][b] = c
+			}
+			if l == 0 {
+				if c > 0 {
+					curActive++
+				}
+				if p > 0 {
+					prevActive++
+				}
+			}
+		}
+	}
+	agg.Active = curActive
+	if prevActive > agg.Active {
+		agg.Active = prevActive
+	}
+	return agg
+}
+
+// applyLocked folds a delta into the current window (saturating);
+// callers hold s.mu.
+func (s *Service) applyLocked(d *node.AdmissionDelta) {
+	for l := 0; l < node.FairLevels; l++ {
+		for b := 0; b < node.FairBuckets; b++ {
+			if c := d.Counts[l][b]; c > 0 {
+				if s.cur[l][b] > ^uint32(0)-c {
+					s.cur[l][b] = ^uint32(0)
+				} else {
+					s.cur[l][b] += c
+				}
+			}
+		}
+	}
+}
+
+// acceptLoop accepts sync connections until close.
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return
+			default:
+			}
+			s.logf("cluster service: accept: %v", err)
+			select {
+			case <-s.closing:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.met.NodesConnected.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// handleConn speaks the sync protocol with one node: hello, then a
+// push/reply loop until the connection dies.
+func (s *Service) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.met.NodesConnected.Add(-1)
+	}()
+	hello, err := readSyncMsg(c)
+	if err != nil || hello.Type != syncHello {
+		return
+	}
+	// Answer the hello with the current view so the client learns the
+	// epoch and salt before its first push.
+	if err := writeSyncMsg(c, s.reply(0)); err != nil {
+		return
+	}
+	for {
+		m, err := readSyncMsg(c)
+		if err != nil {
+			return
+		}
+		if m.Type != syncPush {
+			return
+		}
+		if err := writeSyncMsg(c, s.processPush(hello, m)); err != nil {
+			return
+		}
+	}
+}
+
+// reply builds a syncAgg for the current state, acknowledging ack.
+func (s *Service) reply(ack uint64) syncMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.now()
+	s.rollLocked(now)
+	agg := s.aggregateLocked()
+	return syncMsg{
+		Type:    syncAgg,
+		Epoch:   s.epoch,
+		Salt:    s.salt,
+		AckSeq:  ack,
+		Agg:     &agg,
+		Warming: now.Before(s.warmUntil),
+	}
+}
+
+// processPush folds one push into the aggregate and builds the reply.
+func (s *Service) processPush(hello, m syncMsg) syncMsg {
+	s.mu.Lock()
+	now := s.cfg.now()
+	s.rollLocked(now)
+	if m.Epoch != s.epoch {
+		if m.Epoch > s.epoch {
+			// The client holds a newer epoch than we do: we restored a
+			// snapshot predating a rotation we performed. Our windows
+			// and the client's sketches disagree beyond repair — mint
+			// a fresh epoch newer than the client's so the whole
+			// cluster converges on it.
+			s.rotateLocked(time.Unix(0, maxInt64(now.UnixNano(), m.Epoch)))
+		}
+		s.met.RejectedPushes.Inc()
+		rej := syncMsg{Type: syncReject, Epoch: s.epoch, Salt: s.salt, AckSeq: m.Seq}
+		s.mu.Unlock()
+		return rej
+	}
+	if m.Seq > 0 && m.Delta != nil {
+		rec := s.seqs[hello.Node]
+		if rec.Nonce != hello.Nonce {
+			rec = pushSeq{Nonce: hello.Nonce} // new instance: fresh sequence space
+		}
+		if m.Seq <= rec.LastSeq {
+			s.met.DuplicatePushes.Inc() // re-sent after a lost ack
+		} else {
+			s.applyLocked(m.Delta)
+			rec.LastSeq = m.Seq
+			s.seqs[hello.Node] = rec
+			s.met.Pushes.Inc()
+		}
+	}
+	agg := s.aggregateLocked()
+	out := syncMsg{
+		Type:    syncAgg,
+		Epoch:   s.epoch,
+		Salt:    s.salt,
+		AckSeq:  m.Seq,
+		Agg:     &agg,
+		Warming: now.Before(s.warmUntil),
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// maintainLoop drives scheduled rotation and periodic snapshots.
+func (s *Service) maintainLoop() {
+	defer s.wg.Done()
+	tick := s.cfg.SnapshotInterval
+	if s.cfg.RotateEvery > 0 && s.cfg.RotateEvery < tick {
+		tick = s.cfg.RotateEvery
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			now := s.cfg.now()
+			if s.cfg.RotateEvery > 0 && now.Sub(time.Unix(0, s.epoch)) >= s.cfg.RotateEvery {
+				s.rotateLocked(now)
+			}
+			s.mu.Unlock()
+			// Snapshot on every maintenance tick; after a rotation the
+			// on-disk snapshot is stale, so persisting here narrows
+			// the window where a crash loses the new epoch.
+			s.writeSnapshot()
+		}
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -6,12 +6,15 @@ package memnet
 //
 // A stream is a connected net.Conn pair with bounded buffering and
 // full deadline support. Unlike the packet side, streams model only
-// connectivity faults: Block/Isolate on the underlying link makes
-// writes fail with ErrLinkBlocked (a reliable transport would mask
-// loss and jitter by retransmission, so simulating them here would
-// only re-test TCP). That is exactly what partition tests need — a
-// blocked link kills the connection at the next write, the way a real
-// TCP connection dies on a partitioned path.
+// connectivity faults and latency: Block/Isolate on the underlying
+// link makes writes fail with ErrLinkBlocked (a reliable transport
+// would mask loss and jitter by retransmission, so simulating them
+// here would only re-test TCP), and a link's Latency delays each
+// write by the one-way delay — which is how a "slow control link"
+// scenario drives a deadline-based client into its timeout path.
+// That is exactly what partition tests need — a blocked link kills
+// the connection at the next write, the way a real TCP connection
+// dies on a partitioned path.
 
 import (
 	"errors"
@@ -90,6 +93,13 @@ func (n *Network) streamLinkOK(from, to netip.AddrPort) error {
 		return ErrLinkBlocked
 	}
 	return nil
+}
+
+// streamLatency is the link's configured one-way delay local→remote.
+func (n *Network) streamLatency(from, to netip.AddrPort) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.profileLocked(from, to).Latency
 }
 
 // streamPair builds the two connected halves of a stream.
@@ -229,7 +239,9 @@ func (c *StreamConn) Read(p []byte) (int, error) {
 
 // Write implements net.Conn. Writes over a blocked or isolated link
 // fail with ErrLinkBlocked — a partition kills the connection at the
-// next write, like a reset on a real network.
+// next write, like a reset on a real network. A link with Latency
+// configured delays each write by the one-way delay (still bounded by
+// the write deadline), modeling a slow path.
 func (c *StreamConn) Write(p []byte) (int, error) {
 	select {
 	case <-c.closed:
@@ -252,6 +264,25 @@ func (c *StreamConn) Write(p []byte) (int, error) {
 	}
 	if timer != nil {
 		defer timer.Stop()
+	}
+	if d := c.net.streamLatency(c.local, c.remote); d > 0 {
+		lat := time.NewTimer(d)
+		select {
+		case <-lat.C:
+		case <-c.closed:
+			lat.Stop()
+			return 0, net.ErrClosed
+		case <-c.peerClosed:
+			lat.Stop()
+			return 0, &net.OpError{Op: "write", Net: "memnet", Err: errors.New("connection reset by peer")}
+		case <-timeout:
+			lat.Stop()
+			return 0, os.ErrDeadlineExceeded
+		}
+		// The link may have been blocked while the write was in flight.
+		if err := c.net.streamLinkOK(c.local, c.remote); err != nil {
+			return 0, &net.OpError{Op: "write", Net: "memnet", Err: err}
+		}
 	}
 	chunk := append([]byte(nil), p...)
 	select {

@@ -109,6 +109,15 @@ type Config struct {
 	// SnapshotInterval is the period between snapshots. Default 30s.
 	SnapshotInterval time.Duration
 
+	// KeySalt, when nonzero, fixes the fair-admission requester-hash
+	// salt. Zero (the default) derives a per-node salt from Seed, which
+	// keeps single-node behavior byte-identical and means two nodes
+	// never shed the same colliding requesters; a cluster sets the same
+	// KeySalt everywhere (or lets a cluster.SyncClient rotate it) so
+	// sketch buckets agree across nodes and merged aggregates are
+	// meaningful.
+	KeySalt uint64
+
 	// Policies, as in the paper.
 	QueryProbe, QueryPong, PingProbe, PingPong policy.Selection
 	CacheReplacement                           policy.Eviction
@@ -395,7 +404,7 @@ func New(conn net.PacketConn, cfg Config) (*Node, error) {
 		ids:     make(map[netip.AddrPort]cache.PeerID),
 		addrs:   make(map[cache.PeerID]netip.AddrPort),
 		next:    1,
-		keySalt: cfg.Seed*0x9e3779b97f4a7c15 + 1,
+		keySalt: saltFor(cfg),
 		health:  newPeerHealth(cfg),
 		pending: make(map[uint64]chan wire.Message),
 		met:     obs.NewNodeMetrics(cfg.Metrics),
