@@ -21,12 +21,13 @@ vet:
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-# The determinism/observability linter (see README "Static analysis"):
-# the guess-lint multichecker (detrand, maporder, rngstream, obsname)
-# over every package, then staticcheck when available. staticcheck is
-# skipped gracefully on machines without it (it is a module dependency
-# this stdlib-only repo does not vendor); CI installs the pinned
-# version so the full gate always runs there.
+# The determinism/observability/concurrency linter (see README "Static
+# analysis"): the guess-lint multichecker (detrand, maporder, rngstream,
+# obsname, atomicfield, lockguard, goroexit, wirebound, plus the stale-
+# suppression sweep) over every package, then staticcheck when
+# available. staticcheck is skipped gracefully on machines without it
+# (it is a module dependency this stdlib-only repo does not vendor); CI
+# installs the pinned version so the full gate always runs there.
 lint:
 	$(GO) build -o /tmp/guess-lint ./cmd/guess-lint
 	/tmp/guess-lint ./...
@@ -59,26 +60,28 @@ test-chaos:
 	$(GO) test -race -count=2 -run Chaos ./node
 
 # Race-detect the goroutine-spawning packages (live node, experiment
-# harness, sharded engine). -short keeps the experiment sweeps to the
-# cheap ones — the race detector's ~20x slowdown would push the full
-# battery past the default test timeout — while still covering the
-# worker-pool fan-out. The core leg runs the shard-count invariance
-# suite plus the parallel sample/WCC scan tests: the engine's worker
-# goroutines only exist at Shards>1, and these are the tests that
-# drive them.
+# harness, sweep orchestration, protocol substrates, sharded engine).
+# -short keeps the experiment sweeps to the cheap ones — the race
+# detector's ~20x slowdown would push the full battery past the default
+# test timeout — while still covering the worker-pool fan-out. The core
+# leg runs the shard-count invariance suite plus the parallel
+# sample/WCC scan tests: the engine's worker goroutines only exist at
+# Shards>1, and these are the tests that drive them.
 race:
-	$(GO) test -race -short -timeout 15m ./node/... ./internal/experiments
+	$(GO) test -race -short -timeout 15m ./node/... ./internal/experiments \
+	  ./internal/gossip ./internal/dht ./internal/orchestrate
 	$(GO) test -race -short -timeout 15m \
 	  -run 'TestShardCountInvariance|TestLargestWCCParallelMatchesSerial|TestRenewMatchesFresh|TestShardedLargeRunSmoke' \
 	  ./internal/core
 
 # Ten seconds of coverage-guided fuzzing each over the wire decoder,
-# the snapshot decoder, and the gossip/DHT parameter spaces: cheap
-# insurance that no datagram or snapshot can panic a live node and no
-# parameter corner breaks the substrate engines' conservation
-# invariants or determinism.
+# the stream framing, the snapshot decoder, and the gossip/DHT
+# parameter spaces: cheap insurance that no datagram, frame, or
+# snapshot can panic a live node and no parameter corner breaks the
+# substrate engines' conservation invariants or determinism.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/frame
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./node
 	$(GO) test -run='^$$' -fuzz=FuzzStateSyncDecode -fuzztime=10s ./node/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzGossipParams -fuzztime=10s ./internal/gossip

@@ -1,8 +1,14 @@
-// Command guess-lint is the repo's determinism and observability
-// linter: a multichecker for the analyzers under internal/analysis
-// (detrand, maporder, rngstream, obsname). See the README "Static
-// analysis" section for what each analyzer enforces and how to
-// suppress a finding with a reasoned //lint: annotation.
+// Command guess-lint is the repo's determinism, observability, and
+// concurrency-discipline linter: a multichecker for the analyzers under
+// internal/analysis (detrand, maporder, rngstream, obsname over the
+// deterministic simulation packages; atomicfield, lockguard, goroexit,
+// wirebound over the concurrent node/cluster/orchestration packages).
+// See the README "Static analysis" section for what each analyzer
+// enforces and how to suppress a finding with a reasoned //lint:
+// annotation. The framework also reports stale suppressions: a //lint:
+// directive that no longer silences any finding is itself a finding
+// (standalone mode only — a single-package vet invocation cannot tell
+// stale from cross-package-needed).
 //
 // Standalone usage (what `make lint` runs):
 //
@@ -26,10 +32,14 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/goroexit"
+	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/obsname"
 	"repro/internal/analysis/rngstream"
+	"repro/internal/analysis/wirebound"
 )
 
 // suite returns a fresh analyzer suite. obsname is stateful (its
@@ -41,6 +51,10 @@ func suite() []*analysis.Analyzer {
 		maporder.Analyzer,
 		rngstream.Analyzer,
 		obsname.New(""),
+		atomicfield.Analyzer,
+		lockguard.Analyzer,
+		goroexit.Analyzer,
+		wirebound.Analyzer,
 	}
 }
 
@@ -53,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		switch {
 		case args[0] == "-V=full" || args[0] == "--V=full":
 			// The go command fingerprints vet tools for its build cache.
-			fmt.Fprintln(stdout, "guess-lint version v1")
+			fmt.Fprintln(stdout, "guess-lint version v2")
 			return 0
 		case args[0] == "-flags" || args[0] == "--flags":
 			// The go command asks which analyzer flags the tool accepts.
@@ -137,7 +151,10 @@ func runVet(cfgFile string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "guess-lint: %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, suite())
+	// Vet mode sees one package at a time, so the stale-suppression
+	// sweep stays off: a directive whose finding needs cross-package
+	// summaries would be misreported as unused.
+	findings, err := analysis.RunWithoutSuppressionCheck([]*analysis.Package{pkg}, suite())
 	if err != nil {
 		fmt.Fprintf(stderr, "guess-lint: %v\n", err)
 		return 2

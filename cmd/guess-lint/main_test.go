@@ -6,11 +6,15 @@ import (
 	"testing"
 )
 
-// TestRepoIsLintClean is the regression gate for the determinism and
-// observability invariants: guess-lint over the whole module must exit
-// clean. A new time.Now in a simulation package, an unsorted map range
-// on a Results-producing path, a stray metric name — any of these
-// turns up here as a test failure with the finding in the output.
+// TestRepoIsLintClean is the regression gate for the determinism,
+// observability, and concurrency invariants: guess-lint over the whole
+// module must exit clean with all eight analyzers. A new time.Now in a
+// simulation package, an unsorted map range on a Results-producing
+// path, a stray metric name, a mixed atomic/plain field access, an
+// unguarded write to a mutex-protected field, a goroutine with no exit
+// path, an unbounded wire allocation, or a stale suppression — any of
+// these turns up here as a test failure with the finding in the
+// output.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide lint loads every package; skipped in -short")
@@ -34,6 +38,9 @@ func TestVersionAndFlagsProtocol(t *testing.T) {
 	}
 	if !strings.HasPrefix(stdout.String(), "guess-lint version ") {
 		t.Fatalf("-V=full output %q lacks the name-version form the go command fingerprints", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "v2") {
+		t.Fatalf("-V=full output %q should report v2: the version is the vet cache fingerprint and must change when analyzers are added", stdout.String())
 	}
 	stdout.Reset()
 	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {

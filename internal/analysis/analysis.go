@@ -60,6 +60,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the interprocedural view over every package in the run
+	// (call graph and per-function summaries; see callgraph.go). Under
+	// `go vet -vettool` it spans only the single package being vetted.
+	Prog *Program
 
 	report      func(Finding)
 	suppression map[string][]*directive // file name -> directives in the file
@@ -78,8 +82,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type directive struct {
 	name     string // e.g. "maporder-ok"
 	reason   string // text after the directive; must be non-empty
+	pos      token.Position
 	line     int
 	reported bool // reason-missing complaint already emitted
+	used     bool // suppressed at least one finding (or stopped taint)
 }
 
 // Suppressed reports whether a finding at pos is suppressed by a
@@ -104,6 +110,7 @@ func (p *Pass) Suppressed(pos token.Pos, name string) bool {
 			}
 			continue
 		}
+		d.used = true
 		return true
 	}
 	return false
@@ -120,10 +127,12 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
 				continue
 			}
 			name, reason, _ := strings.Cut(text, " ")
+			pos := fset.Position(c.Pos())
 			out = append(out, &directive{
 				name:   name,
 				reason: strings.TrimSpace(reason),
-				line:   fset.Position(c.Pos()).Line,
+				pos:    pos,
+				line:   pos.Line,
 			})
 		}
 	}
@@ -178,17 +187,78 @@ func IsDeterministic(path string) bool {
 	return deterministicPkgs[strings.TrimSuffix(path, "_test")]
 }
 
+// concurrentPkgs are the packages bound by the concurrency-discipline
+// rules (atomicfield, lockguard, goroexit, wirebound): the live node
+// and everything it shares goroutines, mutexes, and wire decoders with.
+// The simulation stack is single-goroutine by construction (the sharded
+// engine's workers are proven by TestShardCountInvariance under -race)
+// and stays out; cmd/ mains are thin wiring over these layers.
+var concurrentPkgs = map[string]bool{
+	"repro/node":                 true,
+	"repro/node/cluster":         true,
+	"repro/node/memnet":          true,
+	"repro/internal/orchestrate": true,
+	"repro/internal/obs":         true,
+	"repro/internal/frame":       true,
+	// internal/wire is single-goroutine but is the node's datagram
+	// decoder: wirebound's length-bounding rule applies there.
+	"repro/internal/wire": true,
+}
+
+// IsConcurrent reports whether the import path names a package bound
+// by the concurrency-discipline rules. Test variants inherit the
+// subject package's obligations, though the concurrency analyzers skip
+// _test.go files themselves (tests are single-goroutine unless they
+// spawn, and the race detector covers them in `make race`).
+func IsConcurrent(path string) bool {
+	return concurrentPkgs[strings.TrimSuffix(path, "_test")]
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file. The
+// concurrency analyzers skip test files: tests are single-goroutine
+// unless they spawn, and `make race` covers the ones that do.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// SuppressionCheck is the analyzer name under which the framework
+// reports stale suppressions: a //lint: directive that suppressed
+// nothing in the whole run has rotted (the finding it silenced is gone,
+// or the directive never matched one) and is itself a finding, so the
+// suppression inventory cannot accumulate dead entries.
+const SuppressionCheck = "suppression"
+
 // Run applies each analyzer to each package and returns the combined
 // findings sorted by position then analyzer, so output is stable for
-// golden comparisons and CI logs.
+// golden comparisons and CI logs. Before the analyzers run, the whole
+// package set is folded into one Program (call graph + per-function
+// summaries) shared by every Pass. After all analyzers have run,
+// directives that suppressed nothing are reported (see
+// SuppressionCheck). reportUnused exists because vet mode analyzes one
+// package at a time and would misreport suppressions whose findings
+// need cross-package summaries; the standalone runner passes true.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return run(pkgs, analyzers, true)
+}
+
+// RunWithoutSuppressionCheck is Run minus the stale-suppression sweep,
+// for `go vet -vettool` mode: a single-package view cannot tell a stale
+// suppression from one whose finding requires cross-package summaries.
+func RunWithoutSuppressionCheck(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return run(pkgs, analyzers, false)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, reportUnused bool) ([]Finding, error) {
 	var findings []Finding
+	suppression := make(map[string][]*directive)
 	for _, pkg := range pkgs {
-		suppression := make(map[string][]*directive)
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
 			suppression[name] = parseDirectives(pkg.Fset, f)
 		}
+	}
+	prog := buildProgram(pkgs, suppression)
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:    a,
@@ -197,11 +267,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:       pkg.Files,
 				Pkg:         pkg.Types,
 				TypesInfo:   pkg.TypesInfo,
+				Prog:        prog,
 				suppression: suppression,
 				report:      func(f Finding) { findings = append(findings, f) },
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	if reportUnused {
+		for _, dirs := range suppression {
+			for _, d := range dirs {
+				if d.used || d.reported {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: SuppressionCheck,
+					Pos:      d.pos,
+					Message: fmt.Sprintf(
+						"unused suppression //lint:%s: no finding here to suppress; delete the stale annotation",
+						d.name),
+				})
 			}
 		}
 	}

@@ -39,17 +39,28 @@ type expectation struct {
 // // want comments through t.
 func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	pkg, err := analysis.LoadDir(dir, importPath)
+	RunDirs(t, []analysis.DirSpec{{Dir: dir, ImportPath: importPath}}, analyzers...)
+}
+
+// RunDirs is Run over several fixture packages loaded together, so
+// later packages can import earlier ones and interprocedural analyzers
+// see cross-package facts. Expectations are collected from every
+// package.
+func RunDirs(t *testing.T, specs []analysis.DirSpec, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs(specs)
 	if err != nil {
-		t.Fatalf("loading %s as %s: %v", dir, importPath, err)
+		t.Fatalf("loading fixtures: %v", err)
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	findings, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
-	wants, err := parseWants(pkg)
-	if err != nil {
-		t.Fatal(err)
+	wants := make(map[string][]*expectation)
+	for _, pkg := range pkgs {
+		if err := parseWants(pkg, wants); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for _, f := range findings {
 		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
@@ -77,9 +88,9 @@ func claim(exps []*expectation, msg string) bool {
 	return false
 }
 
-// parseWants extracts // want expectations keyed by "file:line".
-func parseWants(pkg *analysis.Package) (map[string][]*expectation, error) {
-	wants := make(map[string][]*expectation)
+// parseWants extracts // want expectations keyed by "file:line" into
+// wants.
+func parseWants(pkg *analysis.Package, wants map[string][]*expectation) error {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -91,19 +102,19 @@ func parseWants(pkg *analysis.Package) (map[string][]*expectation, error) {
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 				patterns, err := splitPatterns(m[1])
 				if err != nil {
-					return nil, fmt.Errorf("%s: %v", key, err)
+					return fmt.Errorf("%s: %v", key, err)
 				}
 				for _, p := range patterns {
 					re, err := regexp.Compile(p)
 					if err != nil {
-						return nil, fmt.Errorf("%s: bad want pattern %q: %v", key, p, err)
+						return fmt.Errorf("%s: bad want pattern %q: %v", key, p, err)
 					}
 					wants[key] = append(wants[key], &expectation{re: re})
 				}
 			}
 		}
 	}
-	return wants, nil
+	return nil
 }
 
 // splitPatterns parses a sequence of Go-quoted or backquoted strings.

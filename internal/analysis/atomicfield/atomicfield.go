@@ -1,0 +1,97 @@
+// Package atomicfield implements the guess-lint check that a struct
+// field touched through sync/atomic anywhere in the program is accessed
+// atomically everywhere. Mixing atomic and plain access to the same
+// word is a latent data race: the plain access is invisible to the
+// atomic one, the race detector only catches it on the schedules tests
+// happen to take, and on weaker memory models a torn or stale read is a
+// real outcome. The clean states are "all atomic" (or an atomic.Int64-
+// style typed field, which makes plain access impossible) and "all
+// plain under a lock" — this analyzer pins code to one or the other.
+//
+// The atomic-access inventory comes from the interprocedural Program
+// (every `&x.f` argument to a sync/atomic function, across all loaded
+// packages), so a field atomically updated in node/ and plainly read in
+// node/cluster is still caught in standalone mode. Under `go vet
+// -vettool` the inventory shrinks to the package being vetted.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Suppress is the //lint: directive that silences a finding.
+const Suppress = "atomicfield-ok"
+
+// Analyzer flags plain accesses to struct fields that are elsewhere
+// accessed through sync/atomic.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flag plain reads/writes of struct fields that are accessed " +
+		"with sync/atomic anywhere else (mixed access is a data race)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsConcurrent(pass.Path) {
+		return nil
+	}
+	fields := pass.Prog.AtomicFields()
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		checkFile(pass, file, fields)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File, fields map[string]token.Position) {
+	// The atomic call sites themselves pass &x.f — collect those
+	// selectors first so they are not flagged as plain accesses.
+	atomicArgs := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeOf(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					atomicArgs[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicArgs[sel] {
+			return true
+		}
+		key, ok := analysis.FieldKey(pass.TypesInfo, sel)
+		if !ok {
+			return true
+		}
+		site, isAtomic := fields[key]
+		if !isAtomic {
+			return true
+		}
+		if pass.Suppressed(sel.Pos(), Suppress) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed with sync/atomic (at %s) but read/written plainly here; mixed access races — use the atomic API everywhere or //lint:%s with a reason",
+			sel.Sel.Name, site, Suppress)
+		return true
+	})
+}

@@ -1,0 +1,61 @@
+// Package conc poses as repro/node to exercise the atomicfield
+// analyzer: a field touched through sync/atomic anywhere must be
+// accessed atomically everywhere.
+package conc
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to hits; total stays clean.
+type Counter struct {
+	hits  int64
+	total int64
+	plain int64
+}
+
+// Inc is the atomic access that puts hits and total in the inventory.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Snapshot reads hits plainly in a different method: the cross-function
+// mix the analyzer exists for.
+func (c *Counter) Snapshot() int64 {
+	return c.hits // want `accessed with sync/atomic .* but read/written plainly here`
+}
+
+// Reset writes hits plainly.
+func (c *Counter) Reset() {
+	c.hits = 0 // want `accessed with sync/atomic .* but read/written plainly here`
+}
+
+// Total stays on the atomic API: no finding.
+func (c *Counter) Total() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+// Bump touches a field that is never accessed atomically: plain access
+// to a plain field is fine.
+func (c *Counter) Bump() {
+	c.plain++
+}
+
+// Sealed carries a reasoned suppression for a single-threaded phase.
+func (c *Counter) Sealed() int64 {
+	//lint:atomicfield-ok read during construction before any goroutine starts
+	return c.total
+}
+
+// Typed uses the typed atomic wrappers, which make plain access
+// impossible; calls through the field are not plain accesses.
+type Typed struct {
+	n atomic.Int64
+}
+
+func (t *Typed) Inc() {
+	t.n.Add(1)
+}
+
+func (t *Typed) Load() int64 {
+	return t.n.Load()
+}

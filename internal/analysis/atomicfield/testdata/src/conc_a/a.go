@@ -1,0 +1,15 @@
+// Package node poses as repro/node: the atomic half of a cross-package
+// mixed access.
+package node
+
+import "sync/atomic"
+
+// Stats counts drops; Dropped is maintained atomically here.
+type Stats struct {
+	Dropped int64
+}
+
+// Drop is the atomic access that inventories Stats.Dropped.
+func (s *Stats) Drop() {
+	atomic.AddInt64(&s.Dropped, 1)
+}

@@ -1,0 +1,12 @@
+// Package cluster poses as repro/node/cluster: the plain half of a
+// cross-package mixed access. The inventory built from the whole
+// program catches the read even though the atomic update lives in
+// another package.
+package cluster
+
+import "repro/node"
+
+// Leak reads a field the node package maintains atomically.
+func Leak(s *node.Stats) int64 {
+	return s.Dropped // want `accessed with sync/atomic .* but read/written plainly here`
+}

@@ -1,0 +1,17 @@
+// Package exempt poses as a package outside the concurrent set: the
+// analyzer does not apply there, even to mixed access.
+package exempt
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+func (g *gauge) inc() {
+	atomic.AddInt64(&g.v, 1)
+}
+
+func (g *gauge) read() int64 {
+	return g.v
+}

@@ -19,6 +19,13 @@
 //     are allowed, though simrng streams are the house idiom;
 //   - any use of crypto/rand, which is nondeterministic by design.
 //
+// The check is interprocedural: a call from a deterministic package to
+// a helper in an exempt package whose summary reaches the wall clock or
+// an ambient RNG (see FuncFacts) is reported at the call site, so
+// wrapping time.Now in a util function does not launder it in. Tainted
+// calls within the deterministic set itself are not re-reported at
+// call sites — the source line already carries its own finding.
+//
 // Escape hatch: //lint:wallclock-ok <reason> on the offending line or
 // the line above.
 package detrand
@@ -96,8 +103,52 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		checkTaintedCalls(pass, file)
 	}
 	return nil
+}
+
+// checkTaintedCalls reports calls whose callee lives outside the
+// deterministic set but whose interprocedural summary reaches a
+// nondeterministic source. Callees inside the deterministic set are
+// skipped: their source lines are reported directly by the walk above.
+func checkTaintedCalls(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeOf(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		node := pass.Prog.FuncOf(callee)
+		if node == nil || analysis.IsDeterministic(node.Pkg.Path) {
+			return true
+		}
+		f := node.Facts
+		switch {
+		case f.WallClock.IsValid():
+			if !pass.Suppressed(call.Pos(), Suppress) {
+				pass.Reportf(call.Pos(),
+					"call reaches the wall clock (%s), which desynchronizes seeded runs; use the event queue's virtual time, or annotate //lint:%s <reason>",
+					f.WallClockDesc, Suppress)
+			}
+		case f.GlobalRand.IsValid():
+			if !pass.Suppressed(call.Pos(), Suppress) {
+				pass.Reportf(call.Pos(),
+					"call reaches the global math/rand state (%s); draw from a named simrng stream, or annotate //lint:%s <reason>",
+					f.GlobalRandDesc, Suppress)
+			}
+		case f.CryptoRand.IsValid():
+			if !pass.Suppressed(call.Pos(), Suppress) {
+				pass.Reportf(call.Pos(),
+					"call reaches crypto/rand (%s), which is nondeterministic by design; use simrng, or annotate //lint:%s <reason>",
+					f.CryptoRandDesc, Suppress)
+			}
+		}
+		return true
+	})
 }
 
 // isGlobalRandFunc reports whether sel names a package-level function

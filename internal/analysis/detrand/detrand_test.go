@@ -3,6 +3,7 @@ package detrand_test
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/analysistest"
 	"repro/internal/analysis/detrand"
 )
@@ -19,4 +20,15 @@ func TestFindings(t *testing.T) {
 // scope: wall time is legitimate there.
 func TestExemptPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src/exempt", "repro/node", detrand.Analyzer)
+}
+
+// TestCrossPackageTaint checks the laundering path: a deterministic
+// package calling an exempt-package helper whose summary reaches the
+// wall clock or the global RNG is flagged at the call site, pure
+// helpers pass, and a reasoned suppression at the call site holds.
+func TestCrossPackageTaint(t *testing.T) {
+	analysistest.RunDirs(t, []analysis.DirSpec{
+		{Dir: "testdata/src/helper", ImportPath: "repro/node"},
+		{Dir: "testdata/src/taint", ImportPath: "repro/internal/core"},
+	}, detrand.Analyzer)
 }

@@ -1,0 +1,25 @@
+// Package node poses as repro/node (exempt from the determinism
+// rules): live-node utilities that legitimately touch the wall clock
+// and the ambient RNG. Its summaries carry the taint that detrand
+// reports at deterministic call sites.
+package node
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the global math/rand state.
+func Jitter() int {
+	return rand.Intn(100)
+}
+
+// Scale is pure: calling it from deterministic code is fine.
+func Scale(x int) int {
+	return x * 2
+}

@@ -1,0 +1,23 @@
+// Package core poses as repro/internal/core: deterministic code must
+// not reach nondeterminism by routing through helpers in exempt
+// packages — the summary-carried taint is reported at the call site.
+package core
+
+import "repro/node"
+
+func tick() int64 {
+	return node.Stamp() // want `call reaches the wall clock`
+}
+
+func roll() int {
+	return node.Jitter() // want `call reaches the global math/rand state`
+}
+
+func double(x int) int {
+	return node.Scale(x)
+}
+
+func vouchedTick() int64 {
+	//lint:wallclock-ok boundary logging only, never feeds simulation state
+	return node.Stamp()
+}

@@ -1,0 +1,89 @@
+// Package goroexit implements the guess-lint check that every spawned
+// goroutine has a bounded exit path. A live node under churn restarts
+// subsystems constantly; a goroutine whose only loop is `for { ... }`
+// with no channel receive (ctx.Done(), a closed shutdown channel, a
+// ticker select) outlives its owner and leaks. Likewise a goroutine
+// that blocks on net.Conn reads needs either a read deadline or a
+// context.AfterFunc closer — otherwise Close() from the supervisor
+// cannot unblock it on every platform and the shutdown path hangs.
+//
+// The verdict uses the interprocedural summaries: `go n.serveLoop()` is
+// judged by serveLoop's facts (receives, deadlines, unbounded loops,
+// conn reads), not just the literal at the go statement, so extracting
+// the loop body into a method does not evade the check. Goroutines that
+// run straight-line bounded work (worker-pool bodies joined by a
+// WaitGroup) have no unbounded loop and pass untouched.
+package goroexit
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Suppress is the //lint: directive that silences a finding.
+const Suppress = "goroexit-ok"
+
+// Analyzer flags goroutines with no bounded exit path and blocking conn
+// reads with no deadline.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroexit",
+	Doc: "flag spawned goroutines whose loops have no bounded exit " +
+		"path and whose conn reads have no deadline or closer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsConcurrent(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGo(pass, g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, g *ast.GoStmt) {
+	var node *analysis.FuncNode
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		node = pass.Prog.LitOf(fun)
+	default:
+		if callee := analysis.CalleeOf(pass.TypesInfo, g.Call); callee != nil {
+			node = pass.Prog.FuncOf(callee)
+		}
+	}
+	if node == nil {
+		return // dynamic call or body outside the loaded program
+	}
+	f := node.Facts
+
+	// A bounded exit path: the goroutine receives from a channel
+	// (ctx.Done(), shutdown channel, ticker), registers a
+	// context.AfterFunc closer, or its blocking reads carry deadlines
+	// (the read itself then fails out of the loop).
+	exitOK := f.HasReceive || f.HasAfterFunc || (f.ReadsConn && f.SetsDeadline)
+
+	if f.HasUnboundedLoop && !exitOK {
+		if !pass.Suppressed(g.Pos(), Suppress) {
+			pass.Reportf(g.Pos(),
+				"goroutine %s loops forever with no bounded exit path (no channel receive, context.AfterFunc, or deadline-bearing read); add one or //lint:%s with a reason",
+				node.Name(), Suppress)
+		}
+	}
+	if f.ReadsConn && !f.SetsDeadline && !f.HasAfterFunc {
+		if !pass.Suppressed(g.Pos(), Suppress) {
+			pass.Reportf(g.Pos(),
+				"goroutine %s blocks on conn reads with no deadline or context.AfterFunc closer; shutdown cannot unblock it — set a read deadline or //lint:%s with a reason",
+				node.Name(), Suppress)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package goroexit_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroexit"
+)
+
+// TestFindings checks that goroutines without a bounded exit path and
+// deadline-less conn readers are flagged — including through method
+// extraction — while selects on shutdown channels, deadline-bearing
+// reads, AfterFunc closers, bounded worker bodies, and reasoned
+// suppressions pass.
+func TestFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/conc", "repro/node", goroexit.Analyzer)
+}

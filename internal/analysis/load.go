@@ -80,11 +80,26 @@ func basePath(importPath string) string {
 	return importPath
 }
 
+// memImporter resolves imports from in-memory packages first (fixture
+// siblings loaded by LoadDirs), falling back to gc export data.
+type memImporter struct {
+	mem map[string]*types.Package
+	gc  types.Importer
+}
+
+func (m memImporter) Import(path string) (*types.Package, error) {
+	if p := m.mem[path]; p != nil {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}
+
 // typecheck parses files and type-checks them against gc export data.
 // importMap translates source-level import paths to the package
 // variants go list selected (relevant for test variants); exports maps
-// import paths to export-data files.
-func typecheck(path, dir string, fileNames []string, importMap, exports map[string]string) (*Package, error) {
+// import paths to export-data files; mem supplies already-type-checked
+// sibling packages (multi-directory fixtures) ahead of export data.
+func typecheck(path, dir string, fileNames []string, importMap, exports map[string]string, mem map[string]*types.Package) (*Package, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range fileNames {
@@ -107,7 +122,7 @@ func typecheck(path, dir string, fileNames []string, importMap, exports map[stri
 		}
 		return os.Open(export)
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	conf := types.Config{Importer: memImporter{mem: mem, gc: importer.ForCompiler(fset, "gc", lookup)}}
 	info := &types.Info{
 		Types: make(map[ast.Expr]types.TypeAndValue),
 		Defs:  make(map[*ast.Ident]types.Object),
@@ -168,7 +183,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Incomplete || (p.Export == "" && p.ForTest == "" && p.Name != "main") {
 			return nil, fmt.Errorf("%s: package did not compile; fix the build before linting", base)
 		}
-		pkg, err := typecheck(base, p.Dir, p.GoFiles, p.ImportMap, exports)
+		pkg, err := typecheck(base, p.Dir, p.GoFiles, p.ImportMap, exports, nil)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", base, err)
 		}
@@ -186,7 +201,7 @@ func LoadVet(importPath string, goFiles []string, importMap, packageFile map[str
 	if len(goFiles) > 0 {
 		dir = filepath.Dir(goFiles[0])
 	}
-	return typecheck(importPath, dir, goFiles, importMap, packageFile)
+	return typecheck(importPath, dir, goFiles, importMap, packageFile, nil)
 }
 
 // moduleRoot walks up from dir to the directory containing go.mod.
@@ -216,17 +231,18 @@ var testdataExports struct {
 	err  error
 }
 
-// LoadDir type-checks the single package of Go files in dir as if its
-// import path were importPath. It exists for analyzer tests: fixture
-// packages under testdata/ are invisible to go list, but can claim a
-// deterministic package's import path so path-scoped analyzers fire.
-func LoadDir(dir, importPath string) (*Package, error) {
+// primeTestdataExports fills the export cache on first use, from the
+// module enclosing dir.
+func primeTestdataExports(dir string) error {
 	root, err := moduleRoot(dir)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	testdataExports.once.Do(func() {
-		listed, err := goList(root, "./...", "time", "math/rand", "math/rand/v2", "crypto/rand")
+		listed, err := goList(root, "./...",
+			"time", "math/rand", "math/rand/v2", "crypto/rand",
+			"sync", "sync/atomic", "net", "context", "encoding/binary",
+			"io", "sort", "slices", "maps")
 		if err != nil {
 			testdataExports.err = err
 			return
@@ -238,8 +254,16 @@ func LoadDir(dir, importPath string) (*Package, error) {
 			}
 		}
 	})
-	if testdataExports.err != nil {
-		return nil, testdataExports.err
+	return testdataExports.err
+}
+
+// LoadDir type-checks the single package of Go files in dir as if its
+// import path were importPath. It exists for analyzer tests: fixture
+// packages under testdata/ are invisible to go list, but can claim a
+// deterministic package's import path so path-scoped analyzers fire.
+func LoadDir(dir, importPath string) (*Package, error) {
+	if err := primeTestdataExports(dir); err != nil {
+		return nil, err
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -254,5 +278,46 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if len(fileNames) == 0 {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
-	return typecheck(importPath, dir, fileNames, nil, testdataExports.m)
+	return typecheck(importPath, dir, fileNames, nil, testdataExports.m, nil)
+}
+
+// A DirSpec names one fixture directory and the import path it claims.
+type DirSpec struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadDirs type-checks several fixture directories as one program, in
+// order, letting later fixtures import earlier ones by their claimed
+// paths. It exists for interprocedural analyzer tests: cross-package
+// facts (a deterministic package calling an exempt package's helper)
+// need at least two packages in the Program.
+func LoadDirs(specs []DirSpec) ([]*Package, error) {
+	mem := make(map[string]*types.Package)
+	var pkgs []*Package
+	for _, spec := range specs {
+		if err := primeTestdataExports(spec.Dir); err != nil {
+			return nil, err
+		}
+		entries, err := os.ReadDir(spec.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var fileNames []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				fileNames = append(fileNames, e.Name())
+			}
+		}
+		if len(fileNames) == 0 {
+			return nil, fmt.Errorf("no .go files in %s", spec.Dir)
+		}
+		pkg, err := typecheck(spec.ImportPath, spec.Dir, fileNames, nil, testdataExports.m, mem)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ImportPath, err)
+		}
+		mem[spec.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }

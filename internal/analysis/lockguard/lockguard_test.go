@@ -1,0 +1,16 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockguard"
+)
+
+// TestFindings checks that lock-free accesses to majority-locked
+// fields are flagged — including from closures — while constructors,
+// xxxLocked helpers, early-unlock error branches, channel fields, and
+// reasoned suppressions pass.
+func TestFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/conc", "repro/node", lockguard.Analyzer)
+}

@@ -18,6 +18,13 @@
 //   - annotated //lint:maporder-ok <reason> when order-insensitivity
 //     holds for reasons the analyzer cannot prove (for example a
 //     lookup that can match at most one entry).
+//
+// The check is interprocedural: ranging over maps.Keys(m), over
+// slices.Collect(maps.Keys(m)), or over a call to a helper that returns
+// an unsorted map-derived slice (see FuncFacts.MapOrderedReturn) is
+// ranging over a map, so extracting the key collection into a helper
+// does not launder the order away. Labels in front of the range
+// statement are looked through.
 package maporder
 
 import (
@@ -58,8 +65,16 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			for i, stmt := range list {
+				// A label in front of a range does not change its order.
+				if lab, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = lab.Stmt
+				}
 				rng, ok := stmt.(*ast.RangeStmt)
-				if !ok || !rangesOverMap(pass, rng) {
+				if !ok {
+					continue
+				}
+				source, ordered := mapOrderedSource(pass, rng.X)
+				if !ordered {
 					continue
 				}
 				if orderInsensitive(pass, rng.Body.List) {
@@ -71,9 +86,13 @@ func run(pass *analysis.Pass) error {
 				if pass.Suppressed(rng.Pos(), Suppress) {
 					continue
 				}
+				via := ""
+				if source != "map" {
+					via = " (order laundered through " + source + ")"
+				}
 				pass.Reportf(rng.Pos(),
-					"map iteration order can reach observable state and break byte-stable output; iterate sorted keys (append + sort immediately after), restrict the body to commutative accumulators, or annotate //lint:%s <reason>",
-					Suppress)
+					"map iteration order%s can reach observable state and break byte-stable output; iterate sorted keys (append + sort immediately after), restrict the body to commutative accumulators, or annotate //lint:%s <reason>",
+					via, Suppress)
 			}
 			return true
 		})
@@ -81,13 +100,13 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func rangesOverMap(pass *analysis.Pass, rng *ast.RangeStmt) bool {
-	tv, ok := pass.TypesInfo.Types[rng.X]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	_, isMap := tv.Type.Underlying().(*types.Map)
-	return isMap
+// mapOrderedSource reports whether ranging over e visits elements in
+// map-iteration order — directly (e is a map), via stdlib iterators
+// (maps.Keys and friends, slices.Collect of them), or via a call to a
+// function the interprocedural summaries mark as returning map-derived
+// order (the helper-launders-the-keys evasion).
+func mapOrderedSource(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	return pass.Prog.MapOrderedSource(pass.TypesInfo, e)
 }
 
 // orderInsensitive reports whether every statement in body commutes

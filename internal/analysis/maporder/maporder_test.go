@@ -15,6 +15,14 @@ func TestFindings(t *testing.T) {
 	analysistest.Run(t, "testdata/src/det", "repro/internal/core", maporder.Analyzer)
 }
 
+// TestInterprocedural checks the laundering paths: maps.Keys
+// iterators, slices.Collect, helper functions whose summaries return
+// map order, labels in front of ranges, and taint stopped by a
+// reasoned annotation at the source.
+func TestInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata/src/inter", "repro/internal/core", maporder.Analyzer)
+}
+
 // TestExemptPackage checks that packages outside the deterministic set
 // may iterate maps freely.
 func TestExemptPackage(t *testing.T) {

@@ -1,0 +1,94 @@
+// Package inter poses as repro/internal/core to exercise the
+// interprocedural maporder cases: stdlib iterators, collected key
+// slices, helper laundering, labels, and taint stopped by a reasoned
+// annotation at the source.
+package inter
+
+import (
+	"maps"
+	"slices"
+)
+
+// viaKeysIter ranges over the maps.Keys iterator: still map order.
+func viaKeysIter(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `order laundered through maps.Keys`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// viaCollect ranges over a slice collected from the iterator: the
+// collection froze map order into the slice.
+func viaCollect(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Collect(maps.Keys(m)) { // want `order laundered through slices.Collect`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectSorted sorts the collected keys before iterating: fine.
+func collectSorted(m map[string]int) []string {
+	keys := slices.Collect(maps.Keys(m))
+	slices.Sort(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysOf returns keys in map order: its own loop is flagged (no sort
+// follows the append), and its summary marks the return as map-ordered.
+func keysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order can reach observable state`
+		out = append(out, k)
+	}
+	return out
+}
+
+// viaHelper ranges over the helper's result: extracting the key
+// collection does not launder the order away.
+func viaHelper(m map[string]int) []string {
+	var out []string
+	for _, k := range keysOf(m) { // want `order laundered through repro/internal/core.keysOf`
+		out = append(out, k)
+	}
+	return out
+}
+
+// labeled puts a label in front of the range: looked through.
+func labeled(m map[string]int) []string {
+	var out []string
+outer:
+	for k := range m { // want `map iteration order can reach observable state`
+		out = append(out, k)
+		if k == "stop" {
+			break outer
+		}
+	}
+	return out
+}
+
+// vouchedKeys annotates its range with a reason; the vouched-for order
+// must not re-surface at call sites through the summary.
+func vouchedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//lint:maporder-ok callers treat the result as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// viaVouched ranges order-sensitively over the vouched helper's
+// result: the annotation at the source stops the taint.
+func viaVouched(m map[string]int) []string {
+	var out []string
+	for _, k := range vouchedKeys(m) {
+		out = append(out, k)
+	}
+	return out
+}

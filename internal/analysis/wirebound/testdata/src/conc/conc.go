@@ -1,0 +1,78 @@
+// Package conc poses as repro/node to exercise the wirebound analyzer:
+// a length decoded off the wire must be bounded before it sizes an
+// allocation.
+package conc
+
+import "encoding/binary"
+
+const maxFrame = 1 << 20
+
+// unbounded allocates straight from the decoded length: one hostile
+// datagram demands gigabytes.
+func unbounded(head []byte) []byte {
+	n := binary.BigEndian.Uint32(head)
+	return make([]byte, n) // want `wire-decoded length with no bound check`
+}
+
+// bounded compares the length against a maximum first: the safe shape.
+func bounded(head []byte) []byte {
+	n := binary.BigEndian.Uint32(head)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// clamped bounds through the min builtin.
+func clamped(head []byte) []byte {
+	n := min(int(binary.BigEndian.Uint16(head)), 512)
+	return make([]byte, n)
+}
+
+// indexed builds the length from byte-slice indexing: same taint, no
+// binary call.
+func indexed(b []byte) []byte {
+	size := int(b[0])<<8 | int(b[1])
+	return make([]byte, size) // want `wire-decoded length with no bound check`
+}
+
+// frameLen is a decode helper; its summary marks the return value as a
+// wire integer.
+func frameLen(head []byte) int {
+	return int(binary.BigEndian.Uint32(head))
+}
+
+// laundered routes the length through the helper: caught through the
+// interprocedural summary.
+func laundered(head []byte) []byte {
+	n := frameLen(head)
+	return make([]byte, n) // want `wire-decoded length with no bound check`
+}
+
+// launderedBounded bounds the helper's result: fine.
+func launderedBounded(head []byte) []byte {
+	n := frameLen(head)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// vouched carries a reasoned suppression.
+func vouched(head []byte) []byte {
+	n := binary.BigEndian.Uint32(head)
+	//lint:wirebound-ok the caller validated the frame header against maxFrame
+	return make([]byte, n)
+}
+
+// fixed sizes come from nowhere near the wire.
+func fixed(xs []int) ([]byte, []int) {
+	return make([]byte, 64), make([]int, len(xs))
+}
+
+// stale carries a directive with nothing to suppress: the framework's
+// stale-suppression sweep reports the annotation itself.
+func stale() []byte {
+	//lint:wirebound-ok this allocation is fixed-size // want `unused suppression`
+	return make([]byte, 8)
+}

@@ -1,0 +1,17 @@
+package wirebound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirebound"
+)
+
+// TestFindings checks that allocations sized by unbounded wire lengths
+// are flagged — from binary decodes, byte indexing, and decode
+// helpers — while comparisons, min clamps, suppressions, and
+// wire-free sizes pass. It also pins the framework's stale-suppression
+// sweep: a directive with nothing to suppress is itself a finding.
+func TestFindings(t *testing.T) {
+	analysistest.Run(t, "testdata/src/conc", "repro/node", wirebound.Analyzer)
+}

@@ -1,0 +1,71 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzMax bounds the declared payload length during fuzzing: big
+// enough to exercise multi-byte lengths, small enough that the fuzzer
+// cannot make the harness itself allocate gigabytes.
+const fuzzMax = 1 << 16
+
+// FuzzFrameDecode asserts the frame reader never panics, never
+// allocates past the caller's bound, and classifies every stream as
+// exactly one of: a valid frame (which must re-encode byte-identically),
+// clean EOF, truncation, an oversize header, or corruption.
+func FuzzFrameDecode(f *testing.F) {
+	seed := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := Write(&buf, payload, fuzzMax); err != nil {
+			f.Fatalf("seed write: %v", err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(nil))
+	f.Add(seed([]byte("x")))
+	f.Add(seed(bytes.Repeat([]byte("frame"), 100)))
+	// Structurally hostile streams: empty, truncated header, huge
+	// declared length, bad checksum.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, 'x'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Read(bytes.NewReader(data), fuzzMax) // must never panic
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("Read returned both a payload and error %v", err)
+			}
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+				errors.Is(err, ErrTooLarge), errors.Is(err, ErrCorrupt):
+			default:
+				t.Fatalf("Read returned an unclassified error: %v", err)
+			}
+			// An oversize verdict must match the header's declared
+			// length; nothing else about the stream can cause it.
+			if errors.Is(err, ErrTooLarge) {
+				if len(data) < 4 || binary.BigEndian.Uint32(data[0:4]) <= fuzzMax {
+					t.Fatalf("ErrTooLarge without an oversize header: %x", data[:min(len(data), 8)])
+				}
+			}
+			return
+		}
+		// An accepted frame respects the bound and round-trips exactly.
+		if len(payload) > fuzzMax {
+			t.Fatalf("accepted payload of %d bytes exceeds the %d bound", len(payload), fuzzMax)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, payload, fuzzMax); err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:8+len(payload)]) {
+			t.Fatalf("re-encoding changed the frame bytes:\n got %x\nwant %x", buf.Bytes(), data[:8+len(payload)])
+		}
+	})
+}

@@ -134,6 +134,7 @@ func Serve(ln net.Listener, cfg ServiceConfig) (*Service, error) {
 	}
 	s.met.SaltEpoch.Set(float64(s.epoch))
 	s.wg.Add(2)
+	//lint:goroexit-ok Close unblocks the accept and the per-conn reads: it closes the listener and every conn tracked in s.conns before wg.Wait
 	go s.acceptLoop()
 	go s.maintainLoop()
 	return s, nil
@@ -322,6 +323,7 @@ func (s *Service) acceptLoop() {
 		s.mu.Unlock()
 		s.met.NodesConnected.Add(1)
 		s.wg.Add(1)
+		//lint:goroexit-ok the read is unblocked at shutdown by Close, which closes every conn tracked in s.conns
 		go s.handleConn(c)
 	}
 }

@@ -422,6 +422,7 @@ func New(conn net.PacketConn, cfg Config) (*Node, error) {
 		n.restoreSnapshot()
 	}
 	n.wg.Add(2)
+	//lint:goroexit-ok Close unblocks the ReadFrom: it closes n.conn after close(n.closed), and serveLoop exits on the read error
 	go n.serveLoop()
 	go n.pingLoop()
 	if cfg.SnapshotPath != "" {
